@@ -1,0 +1,105 @@
+// Command benchrunner regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	benchrunner -list
+//	benchrunner -run fig5.3,tab5.1
+//	benchrunner -all [-scale 2] [-seed 7]
+//	benchrunner -all -markdown > EXPERIMENTS-run.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"graphpart/internal/bench"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		runIDs   = flag.String("run", "", "comma-separated experiment ids to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		scale    = flag.Int("scale", 1, "dataset scale factor")
+		seed     = flag.Uint64("seed", 1, "partitioner seed")
+		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	switch {
+	case *all:
+		selected = bench.All()
+	case *runIDs != "":
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *markdown {
+			renderMarkdown(e, table)
+		} else {
+			fmt.Printf("paper: %s\n", e.Paper)
+			if err := table.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %s: render: %v\n", e.ID, err)
+				failed++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func renderMarkdown(e bench.Experiment, t *bench.Table) {
+	fmt.Printf("## %s — %s\n\n", t.ID, t.Title)
+	fmt.Printf("**Paper:** %s\n\n", e.Paper)
+	fmt.Printf("| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Printf("| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Printf("| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Println()
+	for _, n := range t.Notes {
+		fmt.Printf("- %s\n", n)
+	}
+	fmt.Println()
+}

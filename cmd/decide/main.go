@@ -1,0 +1,79 @@
+// Command decide runs the paper's decision trees (Figs 5.9, 6.6, 9.3)
+// against a graph: it classifies the input's degree distribution and prints
+// the recommended partitioning strategy for each system, plus the
+// strategies the paper says to avoid.
+//
+// Usage:
+//
+//	decide -dataset twitter -machines 25 -ratio 2 -natural
+//	decide -input graph.txt -machines 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"graphpart/internal/datasets"
+	"graphpart/internal/decision"
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		input    = flag.String("input", "", "edge-list file")
+		dataset  = flag.String("dataset", "", "built-in dataset name")
+		scale    = flag.Int("scale", 1, "dataset scale factor")
+		machines = flag.Int("machines", 9, "cluster size")
+		ratio    = flag.Float64("ratio", 1, "expected compute/ingress time ratio (>1 = long job)")
+		natural  = flag.Bool("natural", false, "application gathers one direction and scatters the other (e.g. PageRank)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *dataset != "":
+		g, err = datasets.Load(*dataset, *scale)
+	case *input != "":
+		g, err = graph.LoadEdgeList(*input)
+	default:
+		log.Fatal("decide: need -input FILE or -dataset NAME (see -h)")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cls := graph.Classify(g)
+	fmt.Printf("graph:      %v\n", g)
+	fmt.Printf("class:      %s (max degree %d, avg %.1f", cls.Class, cls.MaxDegree, cls.AvgDegree)
+	if cls.Class != graph.LowDegree {
+		fmt.Printf(", power-law fit α=%.2f R²=%.2f low-degree-ratio=%.2f", cls.Fit.Alpha, cls.Fit.R2, cls.Fit.LowDegreeRatio)
+	}
+	fmt.Println(")")
+	fmt.Printf("workload:   %d machines, compute/ingress ratio %.1f, natural=%v\n\n", *machines, *ratio, *natural)
+
+	w := decision.Workload{
+		Class:               cls.Class,
+		Machines:            *machines,
+		ComputeIngressRatio: *ratio,
+		NaturalApp:          *natural,
+	}
+	for _, sys := range []partition.System{
+		partition.PowerGraph, partition.PowerLyra, partition.GraphX, partition.GraphXAll,
+	} {
+		rec, err := decision.Recommend(sys, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s → %s\n", sys, rec)
+	}
+	fmt.Println()
+	for _, sys := range []partition.System{partition.PowerGraph, partition.PowerLyra} {
+		for name, why := range decision.Avoid(sys) {
+			fmt.Printf("avoid on %-11s %-12s %s\n", string(sys)+":", name, why)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command partition applies a partitioning strategy to an edge-list file (or
+// a named built-in dataset) and reports the paper's quality metrics:
+// replication factor, edge balance, per-partition loads, and simulated
+// ingress time.
+//
+// Usage:
+//
+//	partition -input graph.txt -strategy HDRF -parts 16
+//	partition -dataset uk-web -strategy Grid -parts 25 -verbose
+//	partition -strategies            # list strategy names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"graphpart/internal/cluster"
+	"graphpart/internal/datasets"
+	"graphpart/internal/decision"
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		input     = flag.String("input", "", "edge-list file (one 'src dst' pair per line)")
+		dataset   = flag.String("dataset", "", "built-in dataset name instead of -input")
+		scale     = flag.Int("scale", 1, "dataset scale factor (with -dataset)")
+		strategy  = flag.String("strategy", "HDRF", "partitioning strategy")
+		parts     = flag.Int("parts", 9, "number of partitions")
+		machines  = flag.Int("machines", 0, "cluster machines for the ingress model (default: parts)")
+		seed      = flag.Uint64("seed", 1, "hash seed")
+		threshold = flag.Int("hybrid-threshold", 30, "Hybrid/H-Ginger high-degree cutoff")
+		verbose   = flag.Bool("verbose", false, "print per-partition loads")
+		list      = flag.Bool("strategies", false, "list available strategies and exit")
+		recommend = flag.Bool("recommend", false, "also print the decision-tree recommendation for this graph")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range partition.AllNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *dataset != "":
+		g, err = datasets.Load(*dataset, *scale)
+	case *input != "":
+		g, err = graph.LoadEdgeList(*input)
+	default:
+		log.Fatal("partition: need -input FILE or -dataset NAME (see -h)")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s, err := partition.New(*strategy, partition.Options{HybridThreshold: *threshold})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := partition.Partition(g, s, *parts, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := *machines
+	if m <= 0 {
+		m = *parts
+	}
+	cc := cluster.Config{Machines: m, PartsPerMachine: (*parts + m - 1) / m}
+	ing := cluster.Ingress(a, s, cc, cluster.DefaultModel())
+
+	cls := graph.Classify(g)
+	fmt.Printf("graph:               %v (%s)\n", g, cls.Class)
+	fmt.Printf("strategy:            %s (%d pass(es))\n", s.Name(), s.Passes())
+	fmt.Printf("partitions:          %d\n", a.NumParts)
+	fmt.Printf("replication factor:  %.4f\n", a.ReplicationFactor())
+	fmt.Printf("total replicas:      %d\n", a.TotalReplicas())
+	fmt.Printf("edge balance:        %.4f (max/mean)\n", a.EdgeBalance())
+	fmt.Printf("ingress (simulated): %.4fs on %d machines\n", ing.Seconds, m)
+
+	if *verbose {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "\npartition\tedges\treplicas")
+		for p := 0; p < a.NumParts; p++ {
+			fmt.Fprintf(w, "%d\t%d\t%d\n", p, a.EdgeCount[p], a.ReplicasOnPart(p))
+		}
+		w.Flush()
+	}
+
+	if *recommend {
+		for _, sys := range []partition.System{partition.PowerGraph, partition.PowerLyra, partition.GraphXAll} {
+			rec, err := decision.Recommend(sys, decision.Workload{
+				Class: cls.Class, Machines: m, ComputeIngressRatio: 2, NaturalApp: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("recommended for %-14s %s\n", sys+":", rec)
+		}
+	}
+}

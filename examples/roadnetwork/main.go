@@ -1,0 +1,83 @@
+// Road-network scenario: low-degree, high-diameter input. Runs SSSP and WCC
+// with the decision-tree-recommended strategy versus Random, demonstrating
+// why the paper sends low-degree graphs to the greedy heuristics
+// (HDRF/Oblivious) on PowerGraph-family systems.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphpart/internal/app"
+	"graphpart/internal/cluster"
+	"graphpart/internal/datasets"
+	"graphpart/internal/decision"
+	"graphpart/internal/engine"
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g := datasets.MustLoad("road-usa", 1)
+	cls := graph.Classify(g)
+	fmt.Printf("dataset %v — class %s\n", g, cls.Class)
+
+	cc := cluster.EC2x16
+	model := cluster.DefaultModel()
+
+	rec, err := decision.Recommend(partition.PowerGraph, decision.Workload{
+		Class:               cls.Class,
+		Machines:            cc.Machines,
+		ComputeIngressRatio: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision tree (Fig 5.9) recommends: %s\n\n", rec)
+
+	for _, name := range []string{rec, "Random"} {
+		s, err := partition.New(name, partition.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := partition.Partition(g, s, cc.NumParts(), 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ing := cluster.Ingress(a, s, cc, model)
+
+		// SSSP from the highest-degree junction.
+		src := graph.VertexID(0)
+		best := -1
+		for v := 0; v < g.NumVertices(); v++ {
+			if d := g.Degree(graph.VertexID(v)); d > best {
+				best, src = d, graph.VertexID(v)
+			}
+		}
+		sssp, err := engine.Run[float64, float64](engine.ModePowerGraph, app.SSSP{Source: src}, a, cc, model,
+			engine.Options{MaxSupersteps: 4000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wcc, err := engine.Run[uint32, uint32](engine.ModePowerGraph, app.WCC{}, a, cc, model,
+			engine.Options{MaxSupersteps: 4000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		components := map[uint32]bool{}
+		for v, label := range wcc.Values {
+			if g.Degree(graph.VertexID(v)) > 0 {
+				components[label] = true
+			}
+		}
+		fmt.Printf("%-10s RF=%.3f ingress=%.3fs  SSSP: %d supersteps %.3fs  WCC: %d components %.3fs  total=%.3fs\n",
+			name, a.ReplicationFactor(), ing.Seconds,
+			sssp.Stats.Supersteps, sssp.Stats.ComputeSeconds,
+			len(components), wcc.Stats.ComputeSeconds,
+			ing.Seconds+sssp.Stats.ComputeSeconds+wcc.Stats.ComputeSeconds)
+	}
+	fmt.Println("\nthe greedy heuristic keeps nearly every replica count at 1 on road networks,")
+	fmt.Println("cutting both synchronization traffic and total job time (paper §5.4.2).")
+}

@@ -1,0 +1,131 @@
+package app
+
+import (
+	"graphpart/internal/engine"
+	"graphpart/internal/graph"
+	"graphpart/internal/hashing"
+)
+
+// ColorSet is the gather accumulator for Coloring: a grow-as-needed bitset
+// of colors used by (higher-priority) neighbors.
+type ColorSet []uint64
+
+// Add returns the set with color c included.
+func (s ColorSet) Add(c int32) ColorSet {
+	w := int(c) / 64
+	for len(s) <= w {
+		s = append(s, 0)
+	}
+	s[w] |= 1 << uint(c%64)
+	return s
+}
+
+// Has reports whether color c is in the set.
+func (s ColorSet) Has(c int32) bool {
+	w := int(c) / 64
+	return w < len(s) && s[w]&(1<<uint(c%64)) != 0
+}
+
+// Union returns the union of two sets.
+func (s ColorSet) Union(o ColorSet) ColorSet {
+	if len(o) > len(s) {
+		s, o = o, s
+	}
+	out := make(ColorSet, len(s))
+	copy(out, s)
+	for i := range o {
+		out[i] |= o[i]
+	}
+	return out
+}
+
+// smallestFree returns the smallest non-negative color not in the set.
+func (s ColorSet) smallestFree() int32 {
+	for c := int32(0); ; c++ {
+		if !s.Has(c) {
+			return c
+		}
+	}
+}
+
+// Coloring is Simple Coloring (§3.3.5): assign every vertex the smallest
+// color different from all neighbors'. The paper runs this on the
+// *asynchronous* engine, which it observes sometimes hangs (Oblivious) or
+// fails (HDRF) (§5.4.1). Our deterministic substitution uses
+// Jones–Plassmann-style priorities: a vertex only recolors against
+// higher-priority neighbors (priority = hash of the id), which converges
+// without the async engine's nondeterminism. Gathers and scatters both
+// directions — not a natural application.
+type Coloring struct {
+	// Seed salts the priority hash (0 is fine).
+	Seed uint64
+}
+
+// higherPriority reports whether a outranks b, breaking hash ties by id so
+// that no two distinct vertices ever compare equal.
+func (c Coloring) higherPriority(a, b graph.VertexID) bool {
+	ha, hb := hashing.Vertex(c.Seed^0xc0109, a), hashing.Vertex(c.Seed^0xc0109, b)
+	if ha != hb {
+		return ha > hb
+	}
+	return a > b
+}
+
+// Name implements engine.Program.
+func (Coloring) Name() string { return "Coloring" }
+
+// GatherDir implements engine.Program.
+func (Coloring) GatherDir() engine.Direction { return engine.DirBoth }
+
+// ScatterDir implements engine.Program.
+func (Coloring) ScatterDir() engine.Direction { return engine.DirBoth }
+
+// Init implements engine.Program: everyone starts with color 0 (§3.3.5,
+// "all the vertices initially start with the same color").
+func (Coloring) Init(*graph.Graph, graph.VertexID) int32 { return 0 }
+
+// InitiallyActive implements engine.Program.
+func (Coloring) InitiallyActive(*graph.Graph, graph.VertexID) bool { return true }
+
+// Gather implements engine.Program: the colors of higher-priority
+// neighbors.
+func (c Coloring) Gather(g *graph.Graph, src, dst graph.VertexID, srcVal, dstVal int32, target graph.VertexID) ColorSet {
+	nbr, nbrVal := src, srcVal
+	if target == src {
+		nbr, nbrVal = dst, dstVal
+	}
+	if c.higherPriority(nbr, target) {
+		return ColorSet(nil).Add(nbrVal)
+	}
+	return nil
+}
+
+// Sum implements engine.Program.
+func (Coloring) Sum(a, b ColorSet) ColorSet { return a.Union(b) }
+
+// Apply implements engine.Program: take the smallest color unused by
+// higher-priority neighbors.
+func (c Coloring) Apply(_ *graph.Graph, v graph.VertexID, old int32, acc ColorSet, hasAcc bool) (int32, bool) {
+	var want int32
+	if hasAcc {
+		want = acc.smallestFree()
+	}
+	return want, want != old
+}
+
+// AccBytes implements engine.Program (a small color bitmap).
+func (Coloring) AccBytes() int { return 8 }
+
+// ValueBytes implements engine.Program.
+func (Coloring) ValueBytes() int { return 4 }
+
+// ValidColoring verifies that colors is a proper coloring of g (no edge
+// connects two same-colored endpoints, ignoring self-loops).
+func ValidColoring(g *graph.Graph, colors []int32) bool {
+	for _, e := range g.Edges {
+		if e.Src != e.Dst && colors[e.Src] == colors[e.Dst] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package app
+
+import (
+	"graphpart/internal/engine"
+	"graphpart/internal/graph"
+)
+
+// WCC is Weakly Connected Components by label propagation (§3.3.2): every
+// vertex starts with its own id and repeatedly adopts the minimum label
+// among its neighbors (both directions — weak connectivity), propagating
+// changes until a fixpoint. Not a natural application: it gathers and
+// scatters in both directions.
+type WCC struct{}
+
+// Name implements engine.Program.
+func (WCC) Name() string { return "WCC" }
+
+// GatherDir implements engine.Program.
+func (WCC) GatherDir() engine.Direction { return engine.DirBoth }
+
+// ScatterDir implements engine.Program.
+func (WCC) ScatterDir() engine.Direction { return engine.DirBoth }
+
+// Init implements engine.Program.
+func (WCC) Init(_ *graph.Graph, v graph.VertexID) uint32 { return uint32(v) }
+
+// InitiallyActive implements engine.Program: all vertices start active and
+// send out their labels (§3.3.2).
+func (WCC) InitiallyActive(*graph.Graph, graph.VertexID) bool { return true }
+
+// Gather implements engine.Program: the neighbor's current label.
+func (WCC) Gather(g *graph.Graph, src, dst graph.VertexID, srcVal, dstVal uint32, target graph.VertexID) uint32 {
+	if target == dst {
+		return srcVal
+	}
+	return dstVal
+}
+
+// Sum implements engine.Program: min.
+func (WCC) Sum(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Apply implements engine.Program.
+func (WCC) Apply(_ *graph.Graph, _ graph.VertexID, old uint32, acc uint32, hasAcc bool) (uint32, bool) {
+	if hasAcc && acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// AccBytes implements engine.Program.
+func (WCC) AccBytes() int { return 4 }
+
+// ValueBytes implements engine.Program.
+func (WCC) ValueBytes() int { return 4 }

@@ -1,0 +1,221 @@
+package bench
+
+// Ablations: design-choice experiments beyond the paper's figures. Each
+// isolates one knob that the thesis (or the papers it builds on) calls out:
+// HDRF's λ, Hybrid's degree threshold, the number of oblivious loaders, the
+// web-graph locality our substitution relies on, and the engine mode.
+
+import (
+	"fmt"
+
+	"graphpart/internal/cluster"
+	"graphpart/internal/engine"
+	"graphpart/internal/gen"
+	"graphpart/internal/partition"
+)
+
+func init() {
+	register(ablHDRFLambda())
+	register(ablHybridThreshold())
+	register(ablLoaders())
+	register(ablLocality())
+	register(ablEngine())
+}
+
+func ablHDRFLambda() Experiment {
+	return Experiment{
+		ID:    "abl.lambda",
+		Title: "HDRF λ sweep (replication vs balance)",
+		Paper: "HDRF's λ trades replication factor against load balance; PowerGraph hardcodes λ=1, which the paper uses throughout (§5.2.4, Appendix B)",
+		Run: func(cfg Config) (*Table, error) {
+			g, err := loadGraph(cfg, "uk-web")
+			if err != nil {
+				return nil, err
+			}
+			t := &Table{ID: "abl.lambda", Title: "HDRF λ ablation (uk-web, 25 parts)",
+				Columns: []string{"lambda", "replication-factor", "edge-balance"}}
+			type res struct{ rf, bal float64 }
+			results := map[float64]res{}
+			for _, lambda := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+				a, err := partition.Partition(g, partition.HDRF{Lambda: lambda}, 25, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				results[lambda] = res{a.ReplicationFactor(), a.EdgeBalance()}
+				t.AddRow(fmt.Sprintf("%.2f", lambda), f3(a.ReplicationFactor()), f3(a.EdgeBalance()))
+			}
+			// Larger λ prioritizes balance: balance should not get worse,
+			// replication should not get better.
+			balOK, rfOK := "✓", "✓"
+			if results[8].bal > results[0.25].bal*1.05 {
+				balOK = "✗"
+			}
+			if results[8].rf < results[0.25].rf*0.98 {
+				rfOK = "✗"
+			}
+			t.Notef("raising λ improves (or preserves) balance: %s", balOK)
+			t.Notef("raising λ costs (or preserves) replication factor: %s", rfOK)
+			return t, nil
+		},
+	}
+}
+
+func ablHybridThreshold() Experiment {
+	return Experiment{
+		ID:    "abl.threshold",
+		Title: "Hybrid high-degree threshold sweep",
+		Paper: "Hybrid's threshold (default 100, §6.2.1) splits edge-cut from vertex-cut treatment; too low degenerates toward 1D-source hashing of everything, too high toward pure destination hashing",
+		Run: func(cfg Config) (*Table, error) {
+			g, err := loadGraph(cfg, "uk-web")
+			if err != nil {
+				return nil, err
+			}
+			t := &Table{ID: "abl.threshold", Title: "Hybrid threshold ablation (uk-web, 25 parts)",
+				Columns: []string{"threshold", "high-degree-vertices", "replication-factor", "edge-balance"}}
+			for _, thr := range []int{5, 15, 30, 60, 120, 1 << 30} {
+				a, err := partition.Partition(g, partition.Hybrid{Threshold: thr}, 25, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				high := 0
+				for v := 0; v < g.NumVertices(); v++ {
+					if g.InDegree(uint32(v)) > thr {
+						high++
+					}
+				}
+				label := fmt.Sprintf("%d", thr)
+				if thr == 1<<30 {
+					label = "∞ (pure dst-hash)"
+				}
+				t.AddRow(label, fmt.Sprintf("%d", high), f3(a.ReplicationFactor()), f3(a.EdgeBalance()))
+			}
+			t.Notef("the thesis-scale default (30 on the stand-ins, 100 in the paper) sits at the replication/balance knee")
+			return t, nil
+		},
+	}
+}
+
+func ablLoaders() Experiment {
+	return Experiment{
+		ID:    "abl.loaders",
+		Title: "Oblivious loader-count ablation (the cost of obliviousness)",
+		Paper: "Oblivious keeps loaders ignorant of each other's placements to stay fast (§5.2.2); more independent loaders mean worse (higher) replication factors",
+		Run: func(cfg Config) (*Table, error) {
+			g, err := loadGraph(cfg, "road-usa")
+			if err != nil {
+				return nil, err
+			}
+			t := &Table{ID: "abl.loaders", Title: "Oblivious/HDRF loader count vs replication (road-usa, 16 parts)",
+				Columns: []string{"strategy", "loaders", "replication-factor"}}
+			var first, last float64
+			loaderCounts := []int{1, 2, 4, 16, 64}
+			for _, name := range []string{"Oblivious", "HDRF"} {
+				for _, l := range loaderCounts {
+					s, err := partition.New(name, partition.Options{Loaders: l})
+					if err != nil {
+						return nil, err
+					}
+					a, err := partition.Partition(g, s, 16, cfg.Seed)
+					if err != nil {
+						return nil, err
+					}
+					rf := a.ReplicationFactor()
+					t.AddRow(name, fmt.Sprintf("%d", l), f3(rf))
+					if name == "Oblivious" && l == loaderCounts[0] {
+						first = rf
+					}
+					if name == "Oblivious" && l == loaderCounts[len(loaderCounts)-1] {
+						last = rf
+					}
+				}
+			}
+			verdict := "✓"
+			if last <= first {
+				verdict = "✗"
+			}
+			t.Notef("a single global loader beats 64 oblivious loaders on RF (%0.3f vs %0.3f): %s", first, last, verdict)
+			return t, nil
+		},
+	}
+}
+
+func ablLocality() Experiment {
+	return Experiment{
+		ID:    "abl.locality",
+		Title: "Web-graph edge-list locality ablation (substitution validity)",
+		Paper: "the greedy strategies' uk-web advantage (§5.4.2) rests on real crawls' source-sorted, host-local edge order; destroying that locality should erase HDRF's edge over Grid",
+		Run: func(cfg Config) (*Table, error) {
+			t := &Table{ID: "abl.locality", Title: "HDRF vs Grid RF as a function of generator locality",
+				Columns: []string{"locality", "HDRF-RF", "Grid-RF", "HDRF wins?"}}
+			wins := map[float64]bool{}
+			for _, loc := range []float64{0.05, 0.4, 0.86} {
+				g := gen.WebGraph("abl-web", gen.WebGraphConfig{
+					N: 30000, Alpha: 1.62, MaxOutD: 3000,
+					Locality: loc, Window: 64, Seed: 0x0b3b,
+				})
+				hdrf, err := partition.Partition(g, partition.HDRF{}, 25, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				grid, err := partition.Partition(g, partition.Grid{}, 25, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				win := hdrf.ReplicationFactor() < grid.ReplicationFactor()
+				wins[loc] = win
+				t.AddRow(fmt.Sprintf("%.2f", loc), f3(hdrf.ReplicationFactor()), f3(grid.ReplicationFactor()),
+					fmt.Sprintf("%v", win))
+			}
+			verdict := "✓"
+			if wins[0.05] || !wins[0.86] {
+				verdict = "✗"
+			}
+			t.Notef("HDRF beats Grid only when the edge list has crawl-like locality: %s", verdict)
+			return t, nil
+		},
+	}
+}
+
+func ablEngine() Experiment {
+	return Experiment{
+		ID:    "abl.engine",
+		Title: "Engine ablation: PowerGraph vs PowerLyra on identical assignments",
+		Paper: "PowerLyra's differentiated processing (§6.1) should cut traffic most for natural applications on Hybrid partitions, least for non-natural applications on hash partitions",
+		Run: func(cfg Config) (*Table, error) {
+			model := cfg.model()
+			cc := cluster.EC2x25
+			t := &Table{ID: "abl.engine", Title: "engine mode ablation (uk-web, EC2-25)",
+				Columns: []string{"strategy", "app", "PG-net-GB", "Lyra-net-GB", "saving"}}
+			type key struct{ strat, app string }
+			saving := map[key]float64{}
+			for _, strat := range []string{"Hybrid", "Random"} {
+				a, err := assignment(cfg, "uk-web", strat, cc.NumParts())
+				if err != nil {
+					return nil, err
+				}
+				for _, spec := range paperApps() {
+					if spec.name != "PageRank(10)" && spec.name != "WCC" {
+						continue
+					}
+					pg, err := spec.run(engine.ModePowerGraph, a, cc, model, cfg.HybridThreshold)
+					if err != nil {
+						return nil, err
+					}
+					lyra, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+					if err != nil {
+						return nil, err
+					}
+					s := 1 - lyra.AvgNetInGB/pg.AvgNetInGB
+					saving[key{strat, spec.name}] = s
+					t.AddRow(strat, spec.name, f3(pg.AvgNetInGB), f3(lyra.AvgNetInGB), fmt.Sprintf("%.1f%%", 100*s))
+				}
+			}
+			verdict := "✓"
+			if saving[key{"Hybrid", "PageRank(10)"}] <= saving[key{"Random", "WCC"}] {
+				verdict = "✗"
+			}
+			t.Notef("largest saving for natural app on Hybrid partitions, smallest for non-natural on Random: %s", verdict)
+			return t, nil
+		},
+	}
+}

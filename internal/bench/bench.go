@@ -1,0 +1,224 @@
+// Package bench contains the experiment harness: one registered experiment
+// per table and figure in the paper's evaluation chapters, each regenerating
+// the corresponding rows/series on the simulated cluster.
+//
+// Run them via cmd/benchrunner or the root-level Go benchmarks
+// (bench_test.go). Every experiment is deterministic.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"graphpart/internal/cluster"
+	"graphpart/internal/datasets"
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Scale multiplies dataset sizes (1 = test-sized).
+	Scale int
+	// Model is the cluster cost model; zero value means DefaultModel.
+	Model *cluster.CostModel
+	// HybridThreshold is the high-degree cutoff used by Hybrid/H-Ginger
+	// and the PowerLyra engine. The scaled datasets use 30 (the paper's
+	// 100 assumes million-vertex graphs).
+	HybridThreshold int
+	// Seed for all partitioners.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used by tests and the default
+// benchrunner invocation.
+func DefaultConfig() Config {
+	return Config{Scale: 1, HybridThreshold: 30, Seed: 1}
+}
+
+func (c Config) model() cluster.CostModel {
+	if c.Model != nil {
+		return *c.Model
+	}
+	return cluster.DefaultModel()
+}
+
+func (c Config) scale() int {
+	if c.Scale < 1 {
+		return 1
+	}
+	return c.Scale
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries the experiment's own verdicts: the qualitative shape
+	// the paper reports and whether this run reproduced it.
+	Notes []string
+	// Figure optionally carries an ASCII rendering of the paper's figure
+	// (scatter with trend line, or cumulative curves).
+	Figure string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Notef appends a formatted note.
+func (t *Table) Notef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	fmt.Fprintln(w, line(t.Columns))
+	total := len(t.Columns) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+	if t.Figure != "" {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, t.Figure)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Experiment regenerates one table or figure from the paper.
+type Experiment struct {
+	ID    string // e.g. "fig5.3", "tab5.1"
+	Title string
+	// Paper summarizes the shape the paper reports for this artifact.
+	Paper string
+	Run   func(Config) (*Table, error)
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Experiment
+)
+
+func register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get looks an experiment up by ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- assignment cache -------------------------------------------------
+
+type asgKey struct {
+	dataset  string
+	scale    int
+	strategy string
+	parts    int
+	thr      int
+	seed     uint64
+}
+
+var (
+	asgMu    sync.Mutex
+	asgCache = map[asgKey]*partition.Assignment{}
+)
+
+// assignment partitions a named dataset with a named strategy, caching the
+// result (experiments share many assignments).
+func assignment(cfg Config, dataset, strategy string, parts int) (*partition.Assignment, error) {
+	key := asgKey{dataset, cfg.scale(), strategy, parts, cfg.HybridThreshold, cfg.Seed}
+	asgMu.Lock()
+	if a, ok := asgCache[key]; ok {
+		asgMu.Unlock()
+		return a, nil
+	}
+	asgMu.Unlock()
+
+	g, err := datasets.Load(dataset, cfg.scale())
+	if err != nil {
+		return nil, err
+	}
+	s, err := partition.New(strategy, partition.Options{HybridThreshold: cfg.HybridThreshold})
+	if err != nil {
+		return nil, err
+	}
+	a, err := partition.Partition(g, s, parts, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	asgMu.Lock()
+	asgCache[key] = a
+	asgMu.Unlock()
+	return a, nil
+}
+
+// strategyFor returns the constructed strategy (for ingress modeling).
+func strategyFor(cfg Config, name string) (partition.Strategy, error) {
+	return partition.New(name, partition.Options{HybridThreshold: cfg.HybridThreshold})
+}
+
+// loadGraph is a thin wrapper over datasets.Load at the config's scale.
+func loadGraph(cfg Config, name string) (*graph.Graph, error) {
+	return datasets.Load(name, cfg.scale())
+}
+
+// f2, f3 format floats compactly for table cells.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"graphpart/internal/cluster"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x.1", Title: "test table", Columns: []string{"a", "long-column"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	tab.Notef("note %d", 7)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"x.1", "test table", "long-column", "333", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Scale != 1 || cfg.HybridThreshold != 30 {
+		t.Errorf("unexpected default config %+v", cfg)
+	}
+	if cfg.model().BandwidthBytesPerSec <= 0 {
+		t.Error("default model invalid")
+	}
+	if (Config{Scale: -3}).scale() != 1 {
+		t.Error("negative scale not clamped")
+	}
+}
+
+func TestAssignmentCacheSharing(t *testing.T) {
+	cfg := DefaultConfig()
+	a1, err := assignment(cfg, "road-ca", "Random", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := assignment(cfg, "road-ca", "Random", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("assignment cache miss for identical keys")
+	}
+	a3, err := assignment(cfg, "road-ca", "Random", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a3 {
+		t.Error("different part counts shared an assignment")
+	}
+	if _, err := assignment(cfg, "no-such-dataset", "Random", 9); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := assignment(cfg, "road-ca", "NoSuchStrategy", 9); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestExperimentIDsCoverEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"fig5.3", "fig5.4", "fig5.5", "fig5.6", "fig5.7", "fig5.8", "tab5.1",
+		"fig6.1", "fig6.2", "fig6.3", "fig6.4", "fig6.5", "fig6.6",
+		"fig7.1", "tab7.1",
+		"fig8.1", "fig8.2", "fig8.3", "fig8.4",
+		"fig9.1", "fig9.2", "fig9.3", "fig9.4",
+		"fig5.9",
+		"tab1.1",
+		"abl.lambda", "abl.threshold", "abl.loaders", "abl.locality", "abl.engine",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestRankingRowFormatting(t *testing.T) {
+	row := rankingRow(map[string]float64{
+		"CanonicalRandom": 1.00,
+		"1D":              1.02, // within 5% of CR → parenthesized group
+		"2D":              1.50,
+		"AsymRandom":      1.52, // within 5% of 2D
+	})
+	if row != "(CR,1D),(2D,R)" {
+		t.Errorf("rankingRow = %q, want (CR,1D),(2D,R)", row)
+	}
+	single := rankingRow(map[string]float64{"1D": 1, "2D": 2})
+	if single != "1D,2D" {
+		t.Errorf("rankingRow = %q, want 1D,2D", single)
+	}
+}
+
+func TestSlowdownRatio(t *testing.T) {
+	r := slowdownRatio(map[string]float64{"a": 1, "b": 1.9})
+	if r < 1.89 || r > 1.91 {
+		t.Errorf("slowdownRatio = %v, want 1.9", r)
+	}
+	if slowdownRatio(nil) != 0 {
+		t.Error("empty map should yield 0")
+	}
+}
+
+func TestClusterNames(t *testing.T) {
+	if clusterName(cluster.Config{Machines: 9, PartsPerMachine: 1}) != "Local-9" {
+		t.Error("Local-9 name")
+	}
+	if clusterName(cluster.Config{Machines: 25, PartsPerMachine: 1}) != "EC2-25" {
+		t.Error("EC2-25 name")
+	}
+	if clusterName(cluster.Config{Machines: 10, PartsPerMachine: 4}) != "GraphX-Local-10" {
+		t.Error("GraphX-Local-10 name")
+	}
+}
+
+func TestSSSPSourcePicksHub(t *testing.T) {
+	cfg := DefaultConfig()
+	g, err := loadGraph(cfg, "twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ssspSource(g)
+	if g.Degree(src) < g.MaxDegree() {
+		t.Errorf("source degree %d < max %d", g.Degree(src), g.MaxDegree())
+	}
+}
+
+func TestPaperAppsComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range paperApps() {
+		names[s.name] = true
+	}
+	for _, want := range []string{"PageRank(10)", "PageRank(C)", "WCC", "SSSP", "K-Core", "Coloring"} {
+		if !names[want] {
+			t.Errorf("paperApps missing %s", want)
+		}
+	}
+	// Exactly the natural ones are flagged natural.
+	for _, s := range paperApps() {
+		wantNatural := strings.HasPrefix(s.name, "PageRank")
+		if s.natural != wantNatural {
+			t.Errorf("%s natural=%v, want %v", s.name, s.natural, wantNatural)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package bench
+
+// GraphX experiments: chapter 7 (Fig 7.1, Table 7.1).
+
+import (
+	"fmt"
+	"sort"
+
+	"graphpart/internal/app"
+	"graphpart/internal/cluster"
+	"graphpart/internal/engine/graphx"
+	"graphpart/internal/partition"
+)
+
+// graphxStrategies are GraphX's native strategies (§7.2) in the paper's
+// naming.
+var graphxStrategies = []string{"1D", "2D", "CanonicalRandom", "AsymRandom"}
+
+// graphxDatasets are the four graphs GraphX could load (§7.3: Twitter and
+// uk-web ran out of memory, so enwiki replaces them).
+var graphxDatasets = []string{"road-ca", "road-usa", "livejournal", "enwiki"}
+
+// graphxApps are the chapter-7 applications, run for 10 iterations (§7.3).
+var graphxApps = []string{"PageRank", "SSSP", "WCC"}
+
+// runGraphXApp executes one application under the GraphX engine.
+func runGraphXApp(appName string, a *partition.Assignment, gcfg graphx.Config, model cluster.CostModel) (graphx.Stats, error) {
+	switch appName {
+	case "PageRank":
+		out, err := graphx.Run[float64, float64](app.PageRank{}, a, gcfg, model)
+		if err != nil {
+			return graphx.Stats{}, err
+		}
+		return out.Stats, nil
+	case "SSSP":
+		out, err := graphx.Run[float64, float64](app.SSSP{Source: ssspSource(a.G)}, a, gcfg, model)
+		if err != nil {
+			return graphx.Stats{}, err
+		}
+		return out.Stats, nil
+	case "WCC":
+		out, err := graphx.Run[uint32, uint32](app.WCC{}, a, gcfg, model)
+		if err != nil {
+			return graphx.Stats{}, err
+		}
+		return out.Stats, nil
+	}
+	return graphx.Stats{}, fmt.Errorf("bench: unknown GraphX app %q", appName)
+}
+
+func init() {
+	register(fig71())
+	register(tab71())
+}
+
+func fig71() Experiment {
+	return Experiment{
+		ID:    "fig7.1",
+		Title: "PageRank computation times on GraphX (native strategies × graphs, 10 iterations, Local-10)",
+		Paper: "partitioning time is similar for all (stateless hash) strategies and much smaller than computation; Canonical Random competitive on road networks, 2D on skewed graphs",
+		Run: func(cfg Config) (*Table, error) {
+			model := cfg.model()
+			cc := cluster.GraphXLocal10
+			t := &Table{ID: "fig7.1", Title: "GraphX PageRank compute times",
+				Columns: []string{"graph", "strategy", "partition-s", "compute-s"}}
+			partTimes := map[string][]float64{}
+			for _, ds := range graphxDatasets {
+				for _, strat := range graphxStrategies {
+					a, err := assignment(cfg, ds, strat, cc.NumParts())
+					if err != nil {
+						return nil, err
+					}
+					st, err := runGraphXApp("PageRank", a, graphx.Config{Cluster: cc, Iterations: 10}, model)
+					if err != nil {
+						return nil, err
+					}
+					t.AddRow(ds, strat, f3(st.PartitionSeconds), f3(st.ComputeSeconds))
+					partTimes[ds] = append(partTimes[ds], st.PartitionSeconds)
+					if st.PartitionSeconds >= st.ComputeSeconds {
+						t.Notef("%s/%s: partitioning (%.3fs) not ≪ compute (%.3fs) ✗", ds, strat, st.PartitionSeconds, st.ComputeSeconds)
+					}
+				}
+			}
+			// All native strategies partition at similar speed (§7.4).
+			ok := "✓"
+			for ds, times := range partTimes {
+				lo, hi := times[0], times[0]
+				for _, v := range times {
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+				if hi > lo*1.5 {
+					ok = "✗"
+					t.Notef("%s: partition times spread %.3f–%.3fs exceeds 1.5×", ds, lo, hi)
+				}
+			}
+			t.Notef("all native strategies partition at similar speed: %s", ok)
+			return t, nil
+		},
+	}
+}
+
+// rankingRow formats Table 7.1's ascending-compute-time ranking with
+// parentheses around near-ties (within 5%).
+func rankingRow(times map[string]float64) string {
+	type st struct {
+		name string
+		sec  float64
+	}
+	var list []st
+	for n, s := range times {
+		list = append(list, st{n, s})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].sec < list[j].sec })
+	short := map[string]string{"1D": "1D", "2D": "2D", "CanonicalRandom": "CR", "AsymRandom": "R"}
+	out := ""
+	for i := 0; i < len(list); {
+		j := i + 1
+		for j < len(list) && list[j].sec <= list[i].sec*1.05 {
+			j++
+		}
+		group := ""
+		for k := i; k < j; k++ {
+			if group != "" {
+				group += ","
+			}
+			group += short[list[k].name]
+		}
+		if j-i > 1 {
+			group = "(" + group + ")"
+		}
+		if out != "" {
+			out += ","
+		}
+		out += group
+		i = j
+	}
+	return out
+}
+
+func tab71() Experiment {
+	return Experiment{
+		ID:    "tab7.1",
+		Title: "Computation-time rankings for GraphX (Table 7.1)",
+		Paper: "Canonical Random fastest or near-fastest on road networks; 2D fastest or near-fastest on skewed graphs; Random (asymmetric) generally last",
+		Run: func(cfg Config) (*Table, error) {
+			model := cfg.model()
+			cc := cluster.GraphXLocal10
+			t := &Table{ID: "tab7.1", Title: "GraphX strategy rankings (ascending compute time)",
+				Columns: []string{"app", "graph", "ranking", "best"}}
+			roadOK, skewOK := "✓", "✓"
+			for _, appName := range graphxApps {
+				for _, ds := range graphxDatasets {
+					times := map[string]float64{}
+					for _, strat := range graphxStrategies {
+						a, err := assignment(cfg, ds, strat, cc.NumParts())
+						if err != nil {
+							return nil, err
+						}
+						st, err := runGraphXApp(appName, a, graphx.Config{Cluster: cc, Iterations: 10}, model)
+						if err != nil {
+							return nil, err
+						}
+						times[strat] = st.ComputeSeconds
+					}
+					best, bestT := "", -1.0
+					for n, s := range times {
+						if bestT < 0 || s < bestT {
+							best, bestT = n, s
+						}
+					}
+					t.AddRow(appName, ds, rankingRow(times), best)
+					isRoad := ds == "road-ca" || ds == "road-usa"
+					if isRoad {
+						// CR must be within 10% of the best.
+						if times["CanonicalRandom"] > bestT*1.25 {
+							roadOK = "✗"
+						}
+					} else {
+						if times["2D"] > bestT*1.25 {
+							skewOK = "✗"
+						}
+					}
+				}
+			}
+			t.Notef("Canonical Random fastest/near-fastest on road networks: %s", roadOK)
+			t.Notef("2D fastest/near-fastest on heavy-tailed graphs: %s", skewOK)
+			return t, nil
+		},
+	}
+}

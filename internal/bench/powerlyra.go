@@ -1,0 +1,353 @@
+package bench
+
+// PowerLyra experiments: chapter 6 (Figs 6.1–6.6).
+
+import (
+	"graphpart/internal/cluster"
+	"graphpart/internal/engine"
+	"graphpart/internal/metrics"
+)
+
+// powerLyraStrategies are PowerLyra's measurable native strategies (§6.2;
+// PDS excluded as in §5.2.3).
+var powerLyraStrategies = []string{"Random", "Grid", "Oblivious", "Hybrid", "H-Ginger"}
+
+// hybridFamily marks the strategies the Figs 6.1/6.2 regression lines
+// intentionally exclude.
+func hybridFamily(name string) bool { return name == "Hybrid" || name == "H-Ginger" }
+
+type plPoint struct {
+	strategy string
+	rf       float64
+	netGB    float64
+	peakMem  float64
+}
+
+// plSweep runs one application over all PowerLyra strategies on uk-web,
+// EC2-25, under the hybrid engine.
+func plSweep(cfg Config, appName string) ([]plPoint, error) {
+	model := cfg.model()
+	cc := cluster.EC2x25
+	var out []plPoint
+	for _, strat := range powerLyraStrategies {
+		a, err := assignment(cfg, "uk-web", strat, cc.NumParts())
+		if err != nil {
+			return nil, err
+		}
+		s, err := strategyFor(cfg, strat)
+		if err != nil {
+			return nil, err
+		}
+		ing := cluster.Ingress(a, s, cc, model)
+		for _, spec := range paperApps() {
+			if spec.name != appName {
+				continue
+			}
+			stats, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+			if err != nil {
+				return nil, err
+			}
+			peak := stats.PeakMemGB
+			if m := ing.PeakMemPerMachine / 1e9; m > peak {
+				peak = m
+			}
+			out = append(out, plPoint{strat, a.ReplicationFactor(), stats.AvgNetInGB, peak})
+		}
+	}
+	return out, nil
+}
+
+// fitExcludingHybrids fits the RF→metric line through the non-hybrid
+// points, as the paper's Figs 6.1/6.2 do.
+func fitExcludingHybrids(points []plPoint, pick func(plPoint) float64) (metrics.LinFit, error) {
+	var xs, ys []float64
+	for _, p := range points {
+		if hybridFamily(p.strategy) {
+			continue
+		}
+		xs = append(xs, p.rf)
+		ys = append(ys, pick(p))
+	}
+	return metrics.Fit(xs, ys)
+}
+
+func init() {
+	register(fig61())
+	register(fig62())
+	register(fig63())
+	register(fig64())
+	register(fig65())
+	register(fig66())
+}
+
+func fig61() Experiment {
+	return Experiment{
+		ID:    "fig6.1",
+		Title: "Network IO vs. replication factor under the hybrid engine (PowerLyra, EC2-25, UK-web, PageRank)",
+		Paper: "Hybrid and Hybrid-Ginger use less network than their replication factor predicts when running natural applications (they sit below the regression line)",
+		Run: func(cfg Config) (*Table, error) {
+			points, err := plSweep(cfg, "PageRank(10)")
+			if err != nil {
+				return nil, err
+			}
+			fit, err := fitExcludingHybrids(points, func(p plPoint) float64 { return p.netGB })
+			if err != nil {
+				return nil, err
+			}
+			t := &Table{ID: "fig6.1", Title: "Net-in GB vs RF, PageRank under PowerLyra",
+				Columns: []string{"strategy", "replication-factor", "net-in-GB", "vs-trend"}}
+			for _, p := range points {
+				resid := fit.Residual(p.rf, p.netGB)
+				pos := "below line"
+				if resid > 0 {
+					pos = "above line"
+				}
+				t.AddRow(p.strategy, f3(p.rf), f3(p.netGB), pos)
+			}
+			for _, p := range points {
+				if !hybridFamily(p.strategy) {
+					continue
+				}
+				verdict := "✓"
+				if fit.Residual(p.rf, p.netGB) >= 0 {
+					verdict = "✗"
+				}
+				t.Notef("%s below the non-hybrid trend for natural PageRank: %s (residual %.4g GB)",
+					p.strategy, verdict, fit.Residual(p.rf, p.netGB))
+			}
+			t.Notef("non-hybrid trend: slope=%.4g R²=%.3f", fit.Slope, fit.R2)
+			return t, nil
+		},
+	}
+}
+
+func fig62() Experiment {
+	return Experiment{
+		ID:    "fig6.2",
+		Title: "Peak memory vs. replication factor (PowerLyra, EC2-25, UK-web)",
+		Paper: "Hybrid and Hybrid-Ginger sit above the memory trend (multi-pass ingress overheads); H-Ginger higher than Hybrid",
+		Run: func(cfg Config) (*Table, error) {
+			points, err := plSweep(cfg, "PageRank(C)")
+			if err != nil {
+				return nil, err
+			}
+			fit, err := fitExcludingHybrids(points, func(p plPoint) float64 { return p.peakMem })
+			if err != nil {
+				return nil, err
+			}
+			t := &Table{ID: "fig6.2", Title: "Peak memory GB vs RF under PowerLyra",
+				Columns: []string{"strategy", "replication-factor", "peak-mem-GB", "vs-trend"}}
+			var hybridMem, gingerMem float64
+			for _, p := range points {
+				resid := fit.Residual(p.rf, p.peakMem)
+				pos := "below line"
+				if resid > 0 {
+					pos = "above line"
+				}
+				t.AddRow(p.strategy, f3(p.rf), f3(p.peakMem), pos)
+				switch p.strategy {
+				case "Hybrid":
+					hybridMem = p.peakMem
+				case "H-Ginger":
+					gingerMem = p.peakMem
+				}
+			}
+			for _, p := range points {
+				if !hybridFamily(p.strategy) {
+					continue
+				}
+				verdict := "✓"
+				if fit.Residual(p.rf, p.peakMem) <= 0 {
+					verdict = "✗"
+				}
+				t.Notef("%s above the memory trend: %s", p.strategy, verdict)
+			}
+			verdict := "✓"
+			if gingerMem <= hybridMem {
+				verdict = "✗"
+			}
+			t.Notef("H-Ginger (%.3f GB) has higher peak memory than Hybrid (%.3f GB): %s", gingerMem, hybridMem, verdict)
+			return t, nil
+		},
+	}
+}
+
+func fig63() Experiment {
+	return Experiment{
+		ID:    "fig6.3",
+		Title: "Memory utilization over time (PowerLyra, EC2-25, UK-web, PageRank)",
+		Paper: "peak memory is reached during the ingress phase for every partitioning strategy; the black dot (end of ingress) comes after the peak",
+		Run: func(cfg Config) (*Table, error) {
+			model := cfg.model()
+			cc := cluster.EC2x25
+			t := &Table{ID: "fig6.3", Title: "Memory timeline (per-machine GB)",
+				Columns: []string{"strategy", "phase", "t-start-s", "t-end-s", "mem-GB"}}
+			for _, strat := range powerLyraStrategies {
+				a, err := assignment(cfg, "uk-web", strat, cc.NumParts())
+				if err != nil {
+					return nil, err
+				}
+				s, err := strategyFor(cfg, strat)
+				if err != nil {
+					return nil, err
+				}
+				ing := cluster.Ingress(a, s, cc, model)
+				var stats engine.Stats
+				for _, spec := range paperApps() {
+					if spec.name == "PageRank(C)" {
+						stats, err = spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+						if err != nil {
+							return nil, err
+						}
+					}
+				}
+				t0 := 0.0
+				ingressPeak := 0.0
+				for _, ph := range ing.Phases {
+					t.AddRow(strat, "ingress:"+ph.Name, f3(t0), f3(t0+ph.Seconds), f3(ph.MemPerMachine/1e9))
+					t0 += ph.Seconds
+					if ph.MemPerMachine > ingressPeak {
+						ingressPeak = ph.MemPerMachine
+					}
+				}
+				t.AddRow(strat, "compute", f3(t0), f3(t0+stats.ComputeSeconds), f3(stats.PeakMemGB))
+				verdict := "✓"
+				if ingressPeak/1e9 < stats.PeakMemGB {
+					verdict = "✗"
+				}
+				t.Notef("%s: peak reached during ingress (%.3f GB ≥ compute %.3f GB) %s",
+					strat, ingressPeak/1e9, stats.PeakMemGB, verdict)
+			}
+			return t, nil
+		},
+	}
+}
+
+func fig64() Experiment {
+	return Experiment{
+		ID:    "fig6.4",
+		Title: "Ingress times for PowerLyra (all strategies × graphs × clusters)",
+		Paper: "H-Ginger has significantly slower ingress than every other strategy; Hybrid is slower than the single-pass hashes",
+		Run: func(cfg Config) (*Table, error) {
+			model := cfg.model()
+			t := &Table{ID: "fig6.4", Title: "PowerLyra ingress times (s)",
+				Columns: []string{"graph", "cluster", "strategy", "ingress-seconds"}}
+			times := map[string]float64{}
+			for _, ds := range pgDatasets {
+				for _, cc := range pgClusters {
+					for _, strat := range powerLyraStrategies {
+						a, err := assignment(cfg, ds, strat, cc.NumParts())
+						if err != nil {
+							return nil, err
+						}
+						s, err := strategyFor(cfg, strat)
+						if err != nil {
+							return nil, err
+						}
+						st := cluster.Ingress(a, s, cc, model)
+						t.AddRow(ds, clusterName(cc), strat, f3(st.Seconds))
+						times[ds+"/"+clusterName(cc)+"/"+strat] = st.Seconds
+					}
+				}
+			}
+			ok := "✓"
+			for _, ds := range pgDatasets {
+				key := ds + "/EC2-25/"
+				if times[key+"H-Ginger"] <= times[key+"Hybrid"] {
+					ok = "✗"
+				}
+			}
+			t.Notef("H-Ginger slower than Hybrid on every graph (EC2-25): %s", ok)
+			return t, nil
+		},
+	}
+}
+
+func fig65() Experiment {
+	return Experiment{
+		ID:    "fig6.5",
+		Title: "Replication factors for PowerLyra",
+		Paper: "Oblivious best on road networks and uk-web; Grid and Hybrid both low on LiveJournal/Twitter; H-Ginger only slightly better than Hybrid; Random worst",
+		Run: func(cfg Config) (*Table, error) {
+			t := &Table{ID: "fig6.5", Title: "PowerLyra replication factors",
+				Columns: []string{"graph", "cluster", "strategy", "replication-factor"}}
+			rfs := map[string]float64{}
+			for _, ds := range pgDatasets {
+				for _, cc := range pgClusters {
+					for _, strat := range powerLyraStrategies {
+						a, err := assignment(cfg, ds, strat, cc.NumParts())
+						if err != nil {
+							return nil, err
+						}
+						t.AddRow(ds, clusterName(cc), strat, f3(a.ReplicationFactor()))
+						rfs[ds+"/"+clusterName(cc)+"/"+strat] = a.ReplicationFactor()
+					}
+				}
+			}
+			obl := "✓"
+			for _, ds := range []string{"road-ca", "road-usa", "uk-web"} {
+				key := ds + "/EC2-25/"
+				if rfs[key+"Oblivious"] >= rfs[key+"Random"] || rfs[key+"Oblivious"] >= rfs[key+"Grid"] {
+					obl = "✗"
+				}
+			}
+			t.Notef("Oblivious lowest-family RF on road networks and uk-web: %s", obl)
+			gin := "✓"
+			for _, ds := range pgDatasets {
+				key := ds + "/EC2-25/"
+				if rfs[key+"H-Ginger"] > rfs[key+"Hybrid"]*1.05 {
+					gin = "✗"
+				}
+			}
+			t.Notef("H-Ginger ≤ ~Hybrid RF everywhere (only slight improvement): %s", gin)
+			return t, nil
+		},
+	}
+}
+
+func fig66() Experiment {
+	return Experiment{
+		ID:    "fig6.6",
+		Title: "PowerLyra decision tree validation (natural apps prefer Hybrid)",
+		Paper: "pairing Hybrid with a natural application (PageRank) beats pairing it with a non-natural one relative to Oblivious; low-degree graphs still prefer Oblivious",
+		Run: func(cfg Config) (*Table, error) {
+			model := cfg.model()
+			cc := cluster.EC2x25
+			t := &Table{ID: "fig6.6", Title: "Hybrid synergy with natural applications",
+				Columns: []string{"app", "natural", "strategy", "net-in-GB", "compute-s"}}
+			type key struct{ app, strat string }
+			net := map[key]float64{}
+			for _, strat := range []string{"Oblivious", "Hybrid"} {
+				a, err := assignment(cfg, "uk-web", strat, cc.NumParts())
+				if err != nil {
+					return nil, err
+				}
+				for _, spec := range paperApps() {
+					if spec.name != "PageRank(10)" && spec.name != "WCC" {
+						continue
+					}
+					stats, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+					if err != nil {
+						return nil, err
+					}
+					nat := "no"
+					if spec.natural {
+						nat = "yes"
+					}
+					t.AddRow(spec.name, nat, strat, f3(stats.AvgNetInGB), f3(stats.ComputeSeconds))
+					net[key{spec.name, strat}] = stats.AvgNetInGB
+				}
+			}
+			// Hybrid's network advantage over Oblivious should be larger
+			// for the natural app than the non-natural one.
+			prRatio := net[key{"PageRank(10)", "Hybrid"}] / net[key{"PageRank(10)", "Oblivious"}]
+			wccRatio := net[key{"WCC", "Hybrid"}] / net[key{"WCC", "Oblivious"}]
+			verdict := "✓"
+			if prRatio >= wccRatio {
+				verdict = "✗"
+			}
+			t.Notef("Hybrid/Oblivious net ratio: PageRank %.3f vs WCC %.3f (natural synergy) %s", prRatio, wccRatio, verdict)
+			return t, nil
+		},
+	}
+}

@@ -1,0 +1,158 @@
+// Package datasets names the scaled synthetic stand-ins for the six graphs
+// in the paper's Table 4.2 and caches them per process.
+//
+// Scale 1 keeps every graph small enough that the full experiment suite runs
+// in seconds; benchmarks can request larger scales. Relative sizes mirror
+// the paper (road-usa > road-ca; twitter and uk-web are the largest).
+package datasets
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphpart/internal/gen"
+	"graphpart/internal/graph"
+)
+
+// Info describes one dataset: the paper's original statistics and the
+// generator used for the stand-in.
+type Info struct {
+	Name       string
+	Class      graph.DegreeClass // the class the paper assigns (Table 4.2)
+	PaperEdges string            // as reported in Table 4.2
+	PaperVerts string
+	build      func(scale int) *graph.Graph
+}
+
+// registry holds the six datasets, keyed by name.
+var registry = map[string]Info{
+	"road-ca": {
+		Name: "road-ca", Class: graph.LowDegree,
+		PaperEdges: "5.5M", PaperVerts: "1.9M",
+		build: func(s int) *graph.Graph {
+			side := isqrt(12000 * s)
+			return gen.RoadNet("road-ca", side, side, 0xca0)
+		},
+	},
+	"road-usa": {
+		Name: "road-usa", Class: graph.LowDegree,
+		PaperEdges: "57.5M", PaperVerts: "23.6M",
+		build: func(s int) *graph.Graph {
+			side := isqrt(40000 * s)
+			return gen.RoadNet("road-usa", side, side, 0x05a)
+		},
+	},
+	"livejournal": {
+		Name: "livejournal", Class: graph.HeavyTailed,
+		PaperEdges: "68.5M", PaperVerts: "4.8M",
+		build: func(s int) *graph.Graph {
+			return gen.PrefAttach("livejournal", 9000*s, 8, 0x17e)
+		},
+	},
+	"enwiki": {
+		Name: "enwiki", Class: graph.HeavyTailed,
+		PaperEdges: "101M", PaperVerts: "4.2M",
+		build: func(s int) *graph.Graph {
+			return gen.PrefAttach("enwiki", 6000*s, 12, 0xe4171)
+		},
+	},
+	"twitter": {
+		Name: "twitter", Class: graph.HeavyTailed,
+		PaperEdges: "1.46B", PaperVerts: "41.6M",
+		build: func(s int) *graph.Graph {
+			return gen.PrefAttach("twitter", 16000*s, 10, 0x7417713)
+		},
+	},
+	"uk-web": {
+		Name: "uk-web", Class: graph.PowerLaw,
+		PaperEdges: "3.71B", PaperVerts: "105.1M",
+		build: func(s int) *graph.Graph {
+			return gen.WebGraph("uk-web", gen.WebGraphConfig{
+				N: 30000 * s, Alpha: 1.62, MaxOutD: 3000 * s,
+				Locality: 0.86, Window: 64, Seed: 0x0b3b,
+			})
+		},
+	},
+}
+
+// Names returns all dataset names in a stable order: road networks first,
+// then heavy-tailed, then power-law — the column order of the paper's
+// figures.
+func Names() []string {
+	return []string{"road-ca", "road-usa", "livejournal", "enwiki", "twitter", "uk-web"}
+}
+
+// Describe returns the dataset metadata for name.
+func Describe(name string) (Info, error) {
+	info, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, sortedKeys())
+	}
+	return info, nil
+}
+
+type cacheKey struct {
+	name  string
+	scale int
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*graph.Graph{}
+)
+
+// Load builds (or returns the cached) stand-in graph for name at the given
+// scale. Scale 1 is the test-sized default; the generators are deterministic
+// so the same (name, scale) always yields the same graph.
+func Load(name string, scale int) (*graph.Graph, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	info, err := Describe(name)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey{name, scale}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := cache[key]; ok {
+		return g, nil
+	}
+	g := info.build(scale)
+	g.EnsureCSR()
+	cache[key] = g
+	return g, nil
+}
+
+// MustLoad is Load that panics on unknown names; for tests and examples.
+func MustLoad(name string, scale int) *graph.Graph {
+	g, err := Load(name, scale)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func sortedKeys() []string {
+	keys := make([]string, 0, len(registry))
+	for k := range registry {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// isqrt returns the integer square root of n.
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}

@@ -1,0 +1,152 @@
+// Package decision implements the paper's three decision trees for picking
+// a partitioning strategy: Fig 5.9 (PowerGraph), Fig 6.6 (PowerLyra) and
+// Fig 9.3 (GraphX with all strategies), plus the per-system rules of thumb
+// from chapters 7 and 10.
+package decision
+
+import (
+	"fmt"
+
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+)
+
+// Workload describes the inputs the trees branch on.
+type Workload struct {
+	// Class is the input graph's degree-distribution class; derive it with
+	// graph.Classify if unknown.
+	Class graph.DegreeClass
+	// Machines is the cluster size (the "N² machines?" node asks whether
+	// it is a perfect square).
+	Machines int
+	// ComputeIngressRatio is expected compute time / ingress time. >1
+	// means a long-running job. Jobs whose partitions are saved and
+	// reused count as high-ratio (§5.4.3).
+	ComputeIngressRatio float64
+	// NaturalApp reports whether the application gathers in one direction
+	// and scatters in the other (PowerLyra's tree only, §6.1).
+	NaturalApp bool
+}
+
+// perfectSquare reports whether n = k².
+func perfectSquare(n int) bool {
+	for k := 0; k*k <= n; k++ {
+		if k*k == n {
+			return true
+		}
+	}
+	return false
+}
+
+// PowerGraph is the decision tree of Fig 5.9.
+//
+//	Low-degree graph?            → HDRF/Oblivious
+//	Heavy-tailed? N² machines?   → Grid (else HDRF/Oblivious)
+//	Power-law/other:
+//	  Compute/Ingress > 1        → HDRF/Oblivious
+//	  Compute/Ingress ≤ 1        → Grid
+func PowerGraph(w Workload) string {
+	switch w.Class {
+	case graph.LowDegree:
+		return "HDRF"
+	case graph.HeavyTailed:
+		if perfectSquare(w.Machines) {
+			return "Grid"
+		}
+		return "HDRF"
+	default: // power-law / other
+		if w.ComputeIngressRatio > 1 {
+			return "HDRF"
+		}
+		return "Grid"
+	}
+}
+
+// PowerLyra is the decision tree of Fig 6.6: like PowerGraph's, but a
+// natural application on a non-low-degree graph prefers Hybrid, and the
+// non-square fallback for heavy-tailed graphs is Hybrid too (§6.4.4).
+func PowerLyra(w Workload) string {
+	if w.Class == graph.LowDegree {
+		return "Oblivious"
+	}
+	if w.NaturalApp {
+		return "Hybrid"
+	}
+	switch w.Class {
+	case graph.HeavyTailed:
+		if perfectSquare(w.Machines) {
+			return "Grid"
+		}
+		return "Hybrid"
+	default:
+		if w.ComputeIngressRatio > 1 {
+			return "Oblivious"
+		}
+		return "Grid"
+	}
+}
+
+// GraphX is the native-strategies rule of thumb (§7.4): Canonical Random
+// for low-degree/high-diameter graphs, 2D for power-law-like graphs.
+func GraphX(w Workload) string {
+	if w.Class == graph.LowDegree {
+		return "CanonicalRandom"
+	}
+	return "2D"
+}
+
+// GraphXAll is the decision tree of Fig 9.3 (all strategies ported into
+// GraphX):
+//
+//	Low-degree graph?
+//	  Compute/Ingress low  → Canonical Random
+//	  Compute/Ingress high → HDRF/Oblivious
+//	Power-law/other        → 2D
+func GraphXAll(w Workload) string {
+	if w.Class == graph.LowDegree {
+		if w.ComputeIngressRatio > 1 {
+			return "HDRF"
+		}
+		return "CanonicalRandom"
+	}
+	return "2D"
+}
+
+// Recommend dispatches to the tree for the given system. The
+// PowerLyra-All tree equals PowerLyra's with "HDRF/Oblivious" merged
+// (§8.2.1), so it shares the PowerLyra tree here.
+func Recommend(sys partition.System, w Workload) (string, error) {
+	switch sys {
+	case partition.PowerGraph:
+		return PowerGraph(w), nil
+	case partition.PowerLyra, partition.PowerLyraAll:
+		return PowerLyra(w), nil
+	case partition.GraphX:
+		return GraphX(w), nil
+	case partition.GraphXAll:
+		return GraphXAll(w), nil
+	}
+	return "", fmt.Errorf("decision: unknown system %q", sys)
+}
+
+// Avoid lists strategies the paper recommends against for a system, with
+// reasons (§5.4.4, §6.4.4, §8.2.2).
+func Avoid(sys partition.System) map[string]string {
+	switch sys {
+	case partition.PowerGraph:
+		return map[string]string{
+			"Random": "consistently high replication factor; Grid has similar ingress speed with better partitions (§5.4.4)",
+		}
+	case partition.PowerLyra, partition.PowerLyraAll:
+		return map[string]string{
+			"Random":     "consistently high replication factor (§6.4.4)",
+			"H-Ginger":   "much slower ingress and higher memory for marginal replication-factor gains over Hybrid (§6.4.4)",
+			"AsymRandom": "even worse replication factor than Random (§8.2.2)",
+		}
+	case partition.GraphX, partition.GraphXAll:
+		return map[string]string{
+			"AsymRandom": "direction-sensitive hashing splits symmetric edge pairs, inflating replication (§8.2.2)",
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package decision
+
+import (
+	"testing"
+
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+)
+
+func TestPowerGraphTree(t *testing.T) {
+	// Every path of Fig 5.9.
+	cases := []struct {
+		w    Workload
+		want string
+	}{
+		{Workload{Class: graph.LowDegree, Machines: 25}, "HDRF"},
+		{Workload{Class: graph.HeavyTailed, Machines: 25}, "Grid"},
+		{Workload{Class: graph.HeavyTailed, Machines: 24}, "HDRF"},
+		{Workload{Class: graph.PowerLaw, Machines: 25, ComputeIngressRatio: 10}, "HDRF"},
+		{Workload{Class: graph.PowerLaw, Machines: 25, ComputeIngressRatio: 0.5}, "Grid"},
+	}
+	for _, tc := range cases {
+		if got := PowerGraph(tc.w); got != tc.want {
+			t.Errorf("PowerGraph(%+v) = %s, want %s", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestPowerLyraTree(t *testing.T) {
+	// Every path of Fig 6.6. Note the "Natural Application?" node comes
+	// after "Low degree graph?": low-degree graphs pick Oblivious even for
+	// natural applications (§6.4.4).
+	cases := []struct {
+		w    Workload
+		want string
+	}{
+		{Workload{Class: graph.LowDegree, NaturalApp: true}, "Oblivious"},
+		{Workload{Class: graph.LowDegree}, "Oblivious"},
+		{Workload{Class: graph.HeavyTailed, NaturalApp: true, Machines: 16}, "Hybrid"},
+		{Workload{Class: graph.HeavyTailed, Machines: 16}, "Grid"},
+		{Workload{Class: graph.HeavyTailed, Machines: 10}, "Hybrid"},
+		{Workload{Class: graph.PowerLaw, Machines: 16, ComputeIngressRatio: 5}, "Oblivious"},
+		{Workload{Class: graph.PowerLaw, Machines: 16, ComputeIngressRatio: 0.2}, "Grid"},
+		{Workload{Class: graph.PowerLaw, NaturalApp: true, Machines: 16}, "Hybrid"},
+	}
+	for _, tc := range cases {
+		if got := PowerLyra(tc.w); got != tc.want {
+			t.Errorf("PowerLyra(%+v) = %s, want %s", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestGraphXTrees(t *testing.T) {
+	if got := GraphX(Workload{Class: graph.LowDegree}); got != "CanonicalRandom" {
+		t.Errorf("GraphX low-degree = %s", got)
+	}
+	if got := GraphX(Workload{Class: graph.PowerLaw}); got != "2D" {
+		t.Errorf("GraphX power-law = %s", got)
+	}
+	if got := GraphX(Workload{Class: graph.HeavyTailed}); got != "2D" {
+		t.Errorf("GraphX heavy-tailed = %s", got)
+	}
+	// Fig 9.3 adds the job-length branch for low-degree graphs.
+	if got := GraphXAll(Workload{Class: graph.LowDegree, ComputeIngressRatio: 0.5}); got != "CanonicalRandom" {
+		t.Errorf("GraphXAll short low-degree = %s", got)
+	}
+	if got := GraphXAll(Workload{Class: graph.LowDegree, ComputeIngressRatio: 8}); got != "HDRF" {
+		t.Errorf("GraphXAll long low-degree = %s", got)
+	}
+	if got := GraphXAll(Workload{Class: graph.PowerLaw}); got != "2D" {
+		t.Errorf("GraphXAll power-law = %s", got)
+	}
+}
+
+func TestRecommendDispatch(t *testing.T) {
+	w := Workload{Class: graph.HeavyTailed, Machines: 25}
+	for _, sys := range []partition.System{
+		partition.PowerGraph, partition.PowerLyra, partition.GraphX,
+		partition.PowerLyraAll, partition.GraphXAll,
+	} {
+		name, err := Recommend(sys, w)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if _, err := partition.New(name, partition.Options{}); err != nil {
+			t.Errorf("%s recommends unconstructible strategy %q", sys, name)
+		}
+	}
+	if _, err := Recommend(partition.System("bogus"), w); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestRecommendationsAreRunnable(t *testing.T) {
+	// Recommended strategies must actually be valid for the cluster size
+	// given (Grid only recommended for perfect squares).
+	for machines := 4; machines <= 36; machines++ {
+		w := Workload{Class: graph.HeavyTailed, Machines: machines}
+		name := PowerGraph(w)
+		if name == "Grid" && !perfectSquare(machines) {
+			t.Errorf("machines=%d: Grid recommended for non-square cluster", machines)
+		}
+	}
+}
+
+func TestAvoidLists(t *testing.T) {
+	if m := Avoid(partition.PowerLyra); m["H-Ginger"] == "" || m["Random"] == "" {
+		t.Error("PowerLyra avoid list missing H-Ginger/Random")
+	}
+	if m := Avoid(partition.PowerGraph); m["Random"] == "" {
+		t.Error("PowerGraph avoid list missing Random")
+	}
+	if Avoid(partition.System("bogus")) != nil {
+		t.Error("unknown system should have nil avoid list")
+	}
+}

@@ -1,0 +1,504 @@
+// Package engine defines the vertex-program abstraction shared by the three
+// simulated computation engines (PowerGraph-style GAS, PowerLyra's hybrid
+// engine, and the GraphX/Pregel engine) and implements the synchronous GAS
+// executor the first two build on.
+//
+// The executor runs the *real* algorithm — vertex values are computed
+// exactly, applications run to convergence — while every byte of
+// master/mirror synchronization, every edge scanned, and every barrier is
+// charged to the simulated cluster (internal/cluster) according to the
+// placement decisions of a partition.Assignment. Performance metrics are
+// therefore deterministic functions of partitioning quality, which is
+// exactly the relationship the paper measures.
+package engine
+
+import (
+	"fmt"
+
+	"graphpart/internal/cluster"
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+)
+
+// Direction selects which incident edges a stage of a vertex program reads
+// or writes (§3.1, §6.1).
+type Direction int
+
+// Directions.
+const (
+	DirNone Direction = iota
+	DirIn
+	DirOut
+	DirBoth
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case DirNone:
+		return "none"
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	case DirBoth:
+		return "both"
+	}
+	return "?"
+}
+
+// Program is a GAS vertex program (§3.1) over vertex values V and gather
+// accumulators A. Implementations must be pure: the engines own all state.
+type Program[V, A any] interface {
+	// Name returns the application name as used in the paper's figures.
+	Name() string
+	// GatherDir selects the edges gathered over.
+	GatherDir() Direction
+	// ScatterDir selects the edges along which changed vertices activate
+	// neighbors.
+	ScatterDir() Direction
+	// Init returns v's initial value.
+	Init(g *graph.Graph, v graph.VertexID) V
+	// InitiallyActive reports whether v is active in the first superstep.
+	InitiallyActive(g *graph.Graph, v graph.VertexID) bool
+	// Gather returns the contribution of one gather-direction edge (src,
+	// dst) to target's accumulator. target is either src or dst.
+	Gather(g *graph.Graph, src, dst graph.VertexID, srcVal, dstVal V, target graph.VertexID) A
+	// Sum combines two accumulator values (must be commutative and
+	// associative, §3.1).
+	Sum(a, b A) A
+	// Apply computes v's new value from the aggregated accumulator.
+	// hasAcc is false when v had no gather-direction edges. changed
+	// triggers scatter activation.
+	Apply(g *graph.Graph, v graph.VertexID, old V, acc A, hasAcc bool) (newVal V, changed bool)
+	// AccBytes is the wire size of one accumulator message.
+	AccBytes() int
+	// ValueBytes is the wire size of one vertex-value sync message.
+	ValueBytes() int
+}
+
+// Reactivator is an optional Program extension for bulk-iterative
+// applications: vertices for which StayActive returns true remain in the
+// frontier every superstep, and the run converges when a superstep produces
+// no changed vertices (Pregel's halt-voting). K-core implements this — each
+// peeling round re-examines every remaining vertex (§3.3.3).
+type Reactivator[V any] interface {
+	StayActive(g *graph.Graph, v graph.VertexID, val V) bool
+}
+
+// Natural reports whether p is a "natural application" in PowerLyra's sense
+// (§6.1): it gathers along exactly one direction and scatters along the
+// other.
+func Natural[V, A any](p Program[V, A]) bool {
+	g, s := p.GatherDir(), p.ScatterDir()
+	return (g == DirIn && s == DirOut) || (g == DirOut && s == DirIn)
+}
+
+// Mode selects the engine semantics.
+type Mode int
+
+// Engine modes.
+const (
+	// ModePowerGraph: every mirror participates in gather and receives the
+	// applied value — the sync engine of §5.1.2.
+	ModePowerGraph Mode = iota
+	// ModePowerLyra: differentiated processing (§6.1). Low-degree vertices
+	// gather only from partitions actually holding gather-direction edges
+	// (zero network when the partitioner colocated them with the master)
+	// and push values only to partitions holding scatter-direction edges.
+	// High-degree vertices behave as in PowerGraph.
+	ModePowerLyra
+)
+
+// Options tunes one engine run.
+type Options struct {
+	// MaxSupersteps caps execution; 0 means run to convergence.
+	MaxSupersteps int
+	// FixedIterations, when >0, forces every vertex active for exactly
+	// this many supersteps (the paper's "PageRank(10)" configuration).
+	FixedIterations int
+	// HighDegreeThreshold is PowerLyra's high/low-degree cutoff; 0 means
+	// partition.DefaultHybridThreshold. Only used by ModePowerLyra.
+	HighDegreeThreshold int
+}
+
+// Stats are the §4.3 metrics of one compute phase.
+type Stats struct {
+	App        string
+	Strategy   string
+	Mode       Mode
+	Supersteps int
+	Converged  bool
+
+	// ComputeSeconds is the simulated computation time (always excluding
+	// ingress, as the paper defines it).
+	ComputeSeconds float64
+	// AvgNetInGB is mean per-machine inbound traffic (Figs 5.3/6.1/8.3).
+	AvgNetInGB float64
+	// PeakMemGB is max per-machine peak memory (Figs 5.5/6.2), covering
+	// the compute phase only; callers combine with ingress memory.
+	PeakMemGB float64
+	// CPUUtil is each machine's busy fraction (Fig 8.4).
+	CPUUtil []float64
+	// EdgesProcessed counts gather+scatter edge visits (work measure).
+	EdgesProcessed int64
+	// SuperstepSeconds records the simulated duration of each superstep.
+	SuperstepSeconds []float64
+}
+
+// Outcome carries the computed vertex values along with run statistics.
+type Outcome[V any] struct {
+	Values []V
+	Stats  Stats
+}
+
+// Run executes prog over the partitioned graph on the simulated cluster.
+func Run[V, A any](mode Mode, prog Program[V, A], a *partition.Assignment, cfg cluster.Config, model cluster.CostModel, opts Options) (*Outcome[V], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumParts() != a.NumParts {
+		return nil, fmt.Errorf("engine: assignment has %d partitions but cluster has %d", a.NumParts, cfg.NumParts())
+	}
+	g := a.G
+	g.EnsureCSR()
+	n := g.NumVertices()
+
+	threshold := opts.HighDegreeThreshold
+	if threshold <= 0 {
+		threshold = partition.DefaultHybridThreshold
+	}
+
+	vals := make([]V, n)
+	newVals := make([]V, n)
+	active := make([]bool, n)
+	nextActive := make([]bool, n)
+	frontier := make([]graph.VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		vals[v] = prog.Init(g, graph.VertexID(v))
+		if prog.InitiallyActive(g, graph.VertexID(v)) {
+			active[v] = true
+			frontier = append(frontier, graph.VertexID(v))
+		}
+	}
+
+	run := cluster.NewRun(cfg, model)
+	staticMem := staticMemPerMachine(a, cfg, model)
+	var peakDyn float64
+
+	work := make([]float64, a.NumParts)
+	inBytes := make([]float64, a.NumParts)
+	outBytes := make([]float64, a.NumParts)
+
+	gatherDir := prog.GatherDir()
+	scatterDir := prog.ScatterDir()
+	accB := float64(prog.AccBytes() + model.MsgOverheadBytes)
+	valB := float64(prog.ValueBytes() + model.MsgOverheadBytes)
+	sigB := float64(model.SignalBytes)
+
+	reactivator, _ := any(prog).(Reactivator[V])
+
+	// PowerLyra's differentiated processing keys on the degree in the
+	// *gather* direction: hybrid-cut partitions by in-degree, and an
+	// in-gathering vertex with few in-edges is "low-degree" no matter how
+	// many out-edges it has (§6.1, §6.2.1).
+	gatherDegree := func(v graph.VertexID) int {
+		switch prog.GatherDir() {
+		case DirIn:
+			return g.InDegree(v)
+		case DirOut:
+			return g.OutDegree(v)
+		default:
+			return g.Degree(v)
+		}
+	}
+	isLowDegree := func(v graph.VertexID) bool { return gatherDegree(v) <= threshold }
+
+	stats := Stats{App: prog.Name(), Strategy: a.Strategy, Mode: mode}
+	maxSteps := opts.MaxSupersteps
+	if opts.FixedIterations > 0 {
+		maxSteps = opts.FixedIterations
+	}
+
+	for step := 0; ; step++ {
+		if maxSteps > 0 && step >= maxSteps {
+			stats.Converged = len(frontier) == 0
+			break
+		}
+		if opts.FixedIterations > 0 {
+			// All vertices are active every iteration.
+			frontier = frontier[:0]
+			for v := 0; v < n; v++ {
+				if a.Master(graph.VertexID(v)) >= 0 {
+					active[v] = true
+					frontier = append(frontier, graph.VertexID(v))
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			stats.Converged = true
+			break
+		}
+
+		for p := 0; p < a.NumParts; p++ {
+			work[p], inBytes[p], outBytes[p] = 0, 0, 0
+		}
+		var dynBytes float64
+
+		// ---- Gather + Apply ----
+		changedList := make([]graph.VertexID, 0, len(frontier))
+		for _, v := range frontier {
+			var acc A
+			hasAcc := false
+			if gatherDir == DirIn || gatherDir == DirBoth {
+				nbrs := g.InNeighbors(v)
+				eids := g.InEdgeIDs(v)
+				for i, u := range nbrs {
+					c := prog.Gather(g, u, v, vals[u], vals[v], v)
+					if hasAcc {
+						acc = prog.Sum(acc, c)
+					} else {
+						acc, hasAcc = c, true
+					}
+					work[a.EdgeParts[eids[i]]] += model.GatherEdgeNs
+					stats.EdgesProcessed++
+				}
+			}
+			if gatherDir == DirOut || gatherDir == DirBoth {
+				nbrs := g.OutNeighbors(v)
+				eids := g.OutEdgeIDs(v)
+				for i, u := range nbrs {
+					c := prog.Gather(g, v, u, vals[v], vals[u], v)
+					if hasAcc {
+						acc = prog.Sum(acc, c)
+					} else {
+						acc, hasAcc = c, true
+					}
+					work[a.EdgeParts[eids[i]]] += model.GatherEdgeNs
+					stats.EdgesProcessed++
+				}
+			}
+
+			master := a.Master(v)
+			if master < 0 {
+				// Isolated vertex: no replicas, no network — but its value
+				// still evolves (e.g. PageRank's (1−d) floor, K-core
+				// removal of degree-0 vertices).
+				nv, changed := prog.Apply(g, v, vals[v], acc, hasAcc)
+				newVals[v] = nv
+				if changed {
+					changedList = append(changedList, v)
+				}
+				continue
+			}
+
+			// Gather-stage network: partial accumulators flow from mirror
+			// partitions to the master.
+			gatherSrcs := gatherSourceParts(mode, a, v, gatherDir, isLowDegree(v))
+			for _, p := range gatherSrcs {
+				if p == master {
+					continue
+				}
+				if cfg.MachineOf(p) != cfg.MachineOf(master) {
+					outBytes[p] += accB
+					inBytes[master] += accB
+					dynBytes += accB
+				}
+			}
+
+			// Apply at the master.
+			nv, changed := prog.Apply(g, v, vals[v], acc, hasAcc)
+			newVals[v] = nv
+			work[master] += model.ApplyVertexNs
+			if changed {
+				changedList = append(changedList, v)
+			}
+
+			// Apply-stage network: the master pushes the updated value to
+			// mirrors. PowerGraph syncs all mirrors of an active vertex
+			// every superstep. PowerLyra processes low-degree vertices
+			// GraphLab/Pregel-style (§6.1): their value travels as a
+			// message, only when it changed, and only to partitions that
+			// need it for scatter — the hybrid engine's synchronization
+			// saving for natural applications.
+			if mode == ModePowerLyra && isLowDegree(v) && !changed {
+				continue
+			}
+			syncParts := syncTargetParts(mode, a, v, scatterDir, isLowDegree(v))
+			for _, p := range syncParts {
+				if p == master {
+					continue
+				}
+				work[p] += model.ApplyVertexNs // mirror applies the update
+				if cfg.MachineOf(p) != cfg.MachineOf(master) {
+					outBytes[master] += valB
+					inBytes[p] += valB
+					dynBytes += valB
+				}
+			}
+		}
+
+		// Commit applied values.
+		for _, v := range frontier {
+			vals[v] = newVals[v]
+		}
+
+		// ---- Scatter: changed vertices activate neighbors ----
+		for i := range nextActive {
+			nextActive[i] = false
+		}
+		for _, v := range changedList {
+			if scatterDir == DirOut || scatterDir == DirBoth {
+				nbrs := g.OutNeighbors(v)
+				eids := g.OutEdgeIDs(v)
+				for i, u := range nbrs {
+					p := int(a.EdgeParts[eids[i]])
+					work[p] += model.ScatterEdgeNs
+					stats.EdgesProcessed++
+					um := a.Master(u)
+					if um >= 0 && cfg.MachineOf(p) != cfg.MachineOf(um) {
+						outBytes[p] += sigB
+						inBytes[um] += sigB
+					}
+					nextActive[u] = true
+				}
+			}
+			if scatterDir == DirIn || scatterDir == DirBoth {
+				nbrs := g.InNeighbors(v)
+				eids := g.InEdgeIDs(v)
+				for i, u := range nbrs {
+					p := int(a.EdgeParts[eids[i]])
+					work[p] += model.ScatterEdgeNs
+					stats.EdgesProcessed++
+					um := a.Master(u)
+					if um >= 0 && cfg.MachineOf(p) != cfg.MachineOf(um) {
+						outBytes[p] += sigB
+						inBytes[um] += sigB
+					}
+					nextActive[u] = true
+				}
+			}
+		}
+
+		before := run.SimSeconds
+		run.StepPartitioned(work, inBytes, outBytes)
+		stats.SuperstepSeconds = append(stats.SuperstepSeconds, run.SimSeconds-before)
+		if dynBytes/float64(cfg.Machines) > peakDyn {
+			peakDyn = dynBytes / float64(cfg.Machines)
+		}
+
+		// Programs with Pregel-style voting (Reactivator) keep vertices
+		// active until the round produces no changes: bulk-iterative
+		// applications like K-core re-examine the whole remaining
+		// subgraph each round (§3.3.3).
+		if reactivator != nil {
+			if len(changedList) == 0 {
+				stats.Supersteps++
+				stats.Converged = true
+				break
+			}
+			for v := 0; v < n; v++ {
+				if !nextActive[v] && reactivator.StayActive(g, graph.VertexID(v), vals[v]) {
+					nextActive[v] = true
+				}
+			}
+		}
+
+		// Next frontier.
+		for i := range active {
+			active[i] = false
+		}
+		frontier = frontier[:0]
+		for v := 0; v < n; v++ {
+			if nextActive[v] {
+				active[v] = true
+				frontier = append(frontier, graph.VertexID(v))
+			}
+		}
+		stats.Supersteps++
+	}
+
+	for m := 0; m < cfg.Machines; m++ {
+		run.SetPeakMem(m, staticMem[m]+peakDyn)
+	}
+	stats.ComputeSeconds = run.SimSeconds
+	stats.AvgNetInGB = run.AvgNetInGB()
+	stats.PeakMemGB = run.MaxPeakMemGB()
+	stats.CPUUtil = run.CPUUtilization()
+	return &Outcome[V]{Values: vals, Stats: stats}, nil
+}
+
+// gatherSourceParts returns the partitions that send a partial accumulator
+// for v during gather.
+func gatherSourceParts(mode Mode, a *partition.Assignment, v graph.VertexID, gatherDir Direction, lowDegree bool) []int {
+	var parts []int
+	switch {
+	case mode == ModePowerGraph || !lowDegree:
+		// Every mirror participates in the distributed gather.
+		a.ForEachReplica(v, func(p int) { parts = append(parts, p) })
+	default:
+		// PowerLyra low-degree: only partitions actually holding
+		// gather-direction edges contribute.
+		add := func(p int) { parts = append(parts, p) }
+		switch gatherDir {
+		case DirIn:
+			a.ForEachReplica(v, func(p int) {
+				if a.HasInEdges(v, p) {
+					add(p)
+				}
+			})
+		case DirOut:
+			a.ForEachReplica(v, func(p int) {
+				if a.HasOutEdges(v, p) {
+					add(p)
+				}
+			})
+		case DirBoth:
+			a.ForEachReplica(v, func(p int) {
+				if a.HasInEdges(v, p) || a.HasOutEdges(v, p) {
+					add(p)
+				}
+			})
+		}
+	}
+	return parts
+}
+
+// syncTargetParts returns the partitions the master pushes v's new value to
+// after apply.
+func syncTargetParts(mode Mode, a *partition.Assignment, v graph.VertexID, scatterDir Direction, lowDegree bool) []int {
+	var parts []int
+	switch {
+	case mode == ModePowerGraph || !lowDegree:
+		a.ForEachReplica(v, func(p int) { parts = append(parts, p) })
+	default:
+		switch scatterDir {
+		case DirOut:
+			a.ForEachReplica(v, func(p int) {
+				if a.HasOutEdges(v, p) {
+					parts = append(parts, p)
+				}
+			})
+		case DirIn:
+			a.ForEachReplica(v, func(p int) {
+				if a.HasInEdges(v, p) {
+					parts = append(parts, p)
+				}
+			})
+		default:
+			a.ForEachReplica(v, func(p int) { parts = append(parts, p) })
+		}
+	}
+	return parts
+}
+
+// staticMemPerMachine computes each machine's steady compute-phase memory.
+func staticMemPerMachine(a *partition.Assignment, cfg cluster.Config, model cluster.CostModel) []float64 {
+	mem := make([]float64, cfg.Machines)
+	for p := 0; p < a.NumParts; p++ {
+		m := cfg.MachineOf(p)
+		mem[m] += float64(a.ReplicasOnPart(p))*float64(model.ReplicaBytes) +
+			float64(a.EdgeCount[p])*float64(model.EdgeMemBytes)
+	}
+	return mem
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"math"
+
+	"graphpart/internal/graph"
+	"graphpart/internal/hashing"
+)
+
+// WebGraphConfig configures WebGraph.
+type WebGraphConfig struct {
+	N int // number of pages
+	// Alpha is the Zipf exponent of the out-degree sequence.
+	Alpha float64
+	// MaxOutD caps a single page's out-degree.
+	MaxOutD int
+	// Locality is the fraction of links that stay within a page's
+	// neighborhood of ids (same host). Web crawls assign consecutive ids
+	// within a host, so real edge lists are strongly local; ~0.8 matches
+	// the regime the LAW datasets exhibit.
+	Locality float64
+	// Window is the id radius of "the same host".
+	Window int
+	Seed   uint64
+}
+
+// WebGraph generates a UK-web-like graph: Zipf out-degrees with a full
+// low-degree tail, hub pages with enormous in-degree, and — crucially for
+// partitioning — the *edge-list structure* of a real crawl: edges sorted by
+// source and mostly host-local. The paper's greedy strategies (HDRF,
+// Oblivious) owe their uk-web advantage (§5.4.2) to exactly this locality,
+// which hash-based strategies cannot exploit.
+func WebGraph(name string, cfg WebGraphConfig) *graph.Graph {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2.0
+	}
+	if cfg.MaxOutD <= 0 {
+		cfg.MaxOutD = cfg.N / 10
+	}
+	if cfg.Locality == 0 {
+		cfg.Locality = 0.8
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	rng := hashing.NewRNG(cfg.Seed)
+	outDeg := zipfDegrees(cfg.N, cfg.Alpha, 1, cfg.MaxOutD, rng)
+
+	// Global targets follow a Zipf popularity: page ids are hashed into a
+	// popularity rank so hubs are spread over the id space (as crawl order
+	// spreads popular hosts).
+	popExp := 1.0 / (cfg.Alpha - 1)
+	if cfg.Alpha <= 1.1 {
+		popExp = 10
+	}
+	pickGlobal := func() graph.VertexID {
+		// Inverse-CDF sample of rank r ∝ r^-popZipf over [1, N], then map
+		// rank to a pseudo-random page.
+		u := rng.Float64()
+		r := math.Pow(u, popExp) * float64(cfg.N-1)
+		rank := int(r)
+		if rank >= cfg.N {
+			rank = cfg.N - 1
+		}
+		return graph.VertexID(hashing.Mix64(uint64(rank)+cfg.Seed) % uint64(cfg.N))
+	}
+
+	// Pages come in "hosts" of Window consecutive ids. Local links target
+	// pages within the host with Zipf-skewed popularity (index pages
+	// collect most links), preserving the full low-degree tail: a typical
+	// leaf page keeps total degree 1–2.
+	hostCDF := make([]float64, cfg.Window)
+	total := 0.0
+	for i := 0; i < cfg.Window; i++ {
+		total += math.Pow(float64(i+1), -1.6)
+		hostCDF[i] = total
+	}
+	pickLocal := func(v int) graph.VertexID {
+		base := v - v%cfg.Window
+		u := rng.Float64() * total
+		lo, hi := 0, cfg.Window-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if hostCDF[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		d := base + lo
+		if d >= cfg.N {
+			d = cfg.N - 1
+		}
+		return graph.VertexID(d)
+	}
+
+	var edges []graph.Edge
+	for v := 0; v < cfg.N; v++ {
+		for k := 0; k < outDeg[v]; k++ {
+			var dst graph.VertexID
+			if rng.Float64() < cfg.Locality {
+				dst = pickLocal(v)
+			} else {
+				dst = pickGlobal()
+			}
+			if int(dst) == v {
+				continue
+			}
+			edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: dst})
+		}
+	}
+	return graph.FromEdges(name, edges)
+}

@@ -1,0 +1,68 @@
+package partition
+
+import "math/bits"
+
+// bitMatrix is a dense rows×cols bit matrix used to track, per vertex, the
+// set of partitions something lives on (replicas, in-edges, out-edges).
+// Rows are vertices; columns are partitions.
+type bitMatrix struct {
+	cols  int
+	words int // words per row
+	bits  []uint64
+}
+
+func newBitMatrix(rows, cols int) *bitMatrix {
+	w := (cols + 63) / 64
+	return &bitMatrix{cols: cols, words: w, bits: make([]uint64, rows*w)}
+}
+
+func (m *bitMatrix) set(row int, col int) {
+	m.bits[row*m.words+col/64] |= 1 << uint(col%64)
+}
+
+func (m *bitMatrix) has(row int, col int) bool {
+	return m.bits[row*m.words+col/64]&(1<<uint(col%64)) != 0
+}
+
+// count returns the number of set bits in a row.
+func (m *bitMatrix) count(row int) int {
+	n := 0
+	for _, w := range m.bits[row*m.words : (row+1)*m.words] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach calls fn for every set column in a row, in ascending order.
+func (m *bitMatrix) forEach(row int, fn func(col int)) {
+	base := row * m.words
+	for wi := 0; wi < m.words; wi++ {
+		w := m.bits[base+wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// row returns the words of a row (shared; do not modify).
+func (m *bitMatrix) row(row int) []uint64 {
+	return m.bits[row*m.words : (row+1)*m.words]
+}
+
+// subsetOf reports whether row a's bits (in m) are a subset of the single
+// set {col}. Used to test "all edges on one partition".
+func (m *bitMatrix) onlyCol(row, col int) bool {
+	base := row * m.words
+	for wi := 0; wi < m.words; wi++ {
+		want := uint64(0)
+		if col/64 == wi {
+			want = 1 << uint(col%64)
+		}
+		if m.bits[base+wi]&^want != 0 {
+			return false
+		}
+	}
+	return true
+}

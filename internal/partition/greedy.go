@@ -1,0 +1,234 @@
+package partition
+
+import (
+	"math/bits"
+
+	"graphpart/internal/graph"
+	"graphpart/internal/hashing"
+)
+
+// loaderState is the per-loader view used by the greedy strategies. In the
+// real systems, ingress is distributed: each machine streams its share of
+// the edge list and greedily places edges using only the assignments *it*
+// has made — it is "oblivious" to the other loaders (§5.2.2). We reproduce
+// that by striping the edge list across numLoaders independent states.
+type loaderState struct {
+	parts *bitMatrix // A(v): partitions this loader has placed v's edges on
+	load  []int64    // edges this loader has assigned to each partition
+	pdeg  []int32    // HDRF partial-degree counters (δ)
+	rng   *hashing.RNG
+}
+
+func newLoaderState(numVertices, numParts int, seed uint64, partialDeg bool) *loaderState {
+	st := &loaderState{
+		parts: newBitMatrix(numVertices, numParts),
+		load:  make([]int64, numParts),
+		rng:   hashing.NewRNG(seed),
+	}
+	if partialDeg {
+		st.pdeg = make([]int32, numVertices)
+	}
+	return st
+}
+
+// leastLoaded returns the least-loaded partition among the set bits of
+// mask rows a (and b, if both non-nil: the union), or over all partitions
+// when none is set. Ties are broken pseudo-randomly, as in PowerGraph.
+func (st *loaderState) leastLoadedIn(cands []int) int {
+	best := cands[0]
+	ties := 1
+	for _, c := range cands[1:] {
+		switch {
+		case st.load[c] < st.load[best]:
+			best, ties = c, 1
+		case st.load[c] == st.load[best]:
+			ties++
+			if st.rng.Intn(ties) == 0 {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func (st *loaderState) place(e graph.Edge, p int) {
+	st.load[p]++
+	st.parts.set(int(e.Src), p)
+	st.parts.set(int(e.Dst), p)
+}
+
+// Oblivious is PowerGraph's greedy heuristic (§5.2.2, Appendix A). For
+// each edge (u,v) with current placement sets A(u), A(v):
+//
+//	Case 1: A(u)∩A(v) ≠ ∅        → least-loaded partition in the intersection
+//	Case 2: exactly one is empty  → least-loaded in the non-empty set
+//	Case 3: both empty            → least-loaded partition overall
+//	Case 4: both non-empty, disjoint → least-loaded in A(u)∪A(v)
+//
+// NumLoaders controls how many independent loader views stripe the edge
+// list (0 means one per partition, matching one loader per machine).
+type Oblivious struct {
+	NumLoaders int
+}
+
+// Name implements Strategy.
+func (Oblivious) Name() string { return "Oblivious" }
+
+// Passes implements Strategy.
+func (Oblivious) Passes() int { return 1 }
+
+// Heuristic implements HeuristicStrategy.
+func (Oblivious) Heuristic() bool { return true }
+
+// Partition implements Strategy.
+func (o Oblivious) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return greedyPartition(g, numParts, seed, o.NumLoaders, nil)
+}
+
+// HDRF is High-Degree Replicated First (§5.2.4, Appendix B): greedy like
+// Oblivious but scoring candidate partitions with
+//
+//	C(u,v,M) = CREP(u,v,M) + λ·CBAL(M)
+//	CREP     = g(u,M) + g(v,M),   g(v,M) = 1 + (1−θ(v)) if M ∈ A(v) else 0
+//	θ(v)     = δ(v) / (δ(u)+δ(v))   (partial degrees)
+//
+// so ties prefer cutting the *higher*-degree endpoint, concentrating
+// replication on hubs and sparing low-degree vertices. λ=1, the value
+// hardcoded by PowerGraph and used throughout the paper.
+type HDRF struct {
+	Lambda     float64 // 0 means the default λ=1
+	NumLoaders int
+}
+
+// Name implements Strategy.
+func (HDRF) Name() string { return "HDRF" }
+
+// Passes implements Strategy.
+func (HDRF) Passes() int { return 1 }
+
+// Heuristic implements HeuristicStrategy.
+func (HDRF) Heuristic() bool { return true }
+
+// Partition implements Strategy.
+func (h HDRF) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	lambda := h.Lambda
+	if lambda == 0 {
+		lambda = 1
+	}
+	return greedyPartition(g, numParts, seed, h.NumLoaders, &lambda)
+}
+
+// greedyPartition runs the shared greedy loop. hdrfLambda nil selects
+// Oblivious case logic; non-nil selects HDRF scoring with that λ.
+func greedyPartition(g *graph.Graph, numParts int, seed uint64, numLoaders int, hdrfLambda *float64) (*Result, error) {
+	if numLoaders <= 0 {
+		numLoaders = numParts
+	}
+	n := g.NumVertices()
+	loaders := make([]*loaderState, numLoaders)
+	for i := range loaders {
+		loaders[i] = newLoaderState(n, numParts, hashing.Combine(seed, uint64(i)), hdrfLambda != nil)
+	}
+	parts := make([]int32, g.NumEdges())
+	cands := make([]int, 0, numParts)
+
+	// Each loader streams a contiguous block of the edge list, as
+	// PowerGraph's parallel ingress does ("all datasets were split into as
+	// many blocks as there are machines", §5.3). Block locality is what
+	// lets the greedy heuristics exploit the ordering of low-degree graphs.
+	m := g.NumEdges()
+	for i, e := range g.Edges {
+		st := loaders[i*numLoaders/max(m, 1)]
+		var p int
+		if hdrfLambda != nil {
+			p = hdrfPick(st, e, numParts, *hdrfLambda)
+		} else {
+			p = obliviousPick(st, e, numParts, &cands)
+		}
+		st.place(e, p)
+		parts[i] = int32(p)
+	}
+	return &Result{EdgeParts: parts}, nil
+}
+
+func obliviousPick(st *loaderState, e graph.Edge, numParts int, scratch *[]int) int {
+	au := st.parts.row(int(e.Src))
+	av := st.parts.row(int(e.Dst))
+	cands := (*scratch)[:0]
+
+	// Case 1: intersection.
+	for wi := range au {
+		w := au[wi] & av[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			cands = append(cands, wi*64+b)
+			w &= w - 1
+		}
+	}
+	if len(cands) == 0 {
+		// Cases 2 and 4: union of the non-empty sets.
+		for wi := range au {
+			w := au[wi] | av[wi]
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				cands = append(cands, wi*64+b)
+				w &= w - 1
+			}
+		}
+	}
+	if len(cands) == 0 {
+		// Case 3: anywhere.
+		for p := 0; p < numParts; p++ {
+			cands = append(cands, p)
+		}
+	}
+	*scratch = cands
+	return st.leastLoadedIn(cands)
+}
+
+func hdrfPick(st *loaderState, e graph.Edge, numParts int, lambda float64) int {
+	st.pdeg[e.Src]++
+	st.pdeg[e.Dst]++
+	du := float64(st.pdeg[e.Src])
+	dv := float64(st.pdeg[e.Dst])
+	thetaU := du / (du + dv)
+	thetaV := dv / (du + dv)
+
+	var maxLoad, minLoad int64
+	maxLoad, minLoad = st.load[0], st.load[0]
+	for _, l := range st.load[1:] {
+		if l > maxLoad {
+			maxLoad = l
+		}
+		if l < minLoad {
+			minLoad = l
+		}
+	}
+	denom := float64(maxLoad-minLoad) + 1
+
+	best := 0
+	bestScore := -1.0
+	ties := 1
+	for p := 0; p < numParts; p++ {
+		var crep float64
+		if st.parts.has(int(e.Src), p) {
+			crep += 1 + (1 - thetaU)
+		}
+		if st.parts.has(int(e.Dst), p) {
+			crep += 1 + (1 - thetaV)
+		}
+		// CBAL ∈ [0,1): less-loaded partitions score higher.
+		cbal := float64(maxLoad-st.load[p]) / denom
+		score := crep + lambda*cbal
+		switch {
+		case score > bestScore:
+			best, bestScore, ties = p, score, 1
+		case score == bestScore:
+			ties++
+			if st.rng.Intn(ties) == 0 {
+				best = p
+			}
+		}
+	}
+	return best
+}

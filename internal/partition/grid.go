@@ -1,0 +1,82 @@
+package partition
+
+import (
+	"fmt"
+
+	"graphpart/internal/graph"
+	"graphpart/internal/hashing"
+)
+
+// Grid is PowerGraph's constrained Grid partitioning (§5.2.3, from the
+// GraphBuilder paper): machines form a √P×√P matrix; a vertex's constraint
+// set S(v) is the row plus column of the machine it hashes to; an edge
+// (u,v) is placed on a partition in S(u)∩S(v), which is never empty and
+// bounds the replication factor by 2√P−1. As in PowerGraph, P must be a
+// perfect square.
+type Grid struct{}
+
+// Name implements Strategy.
+func (Grid) Name() string { return "Grid" }
+
+// Passes implements Strategy.
+func (Grid) Passes() int { return 1 }
+
+// Partition implements Strategy.
+func (Grid) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	side := ceilSqrt(numParts)
+	if side*side != numParts {
+		return nil, fmt.Errorf("grid: numParts=%d is not a perfect square", numParts)
+	}
+	parts := gridAssign(g, numParts, side, seed)
+	return &Result{EdgeParts: parts}, nil
+}
+
+// ResilientGrid is the thesis's non-square-tolerant Grid (§9.1): the grid
+// is built at the next perfect square ≥ P and chosen partitions are mapped
+// back down modulo P (potentially unbalancing load, as the thesis notes
+// for 2D in §7.2.3).
+type ResilientGrid struct{}
+
+// Name implements Strategy.
+func (ResilientGrid) Name() string { return "ResilientGrid" }
+
+// Passes implements Strategy.
+func (ResilientGrid) Passes() int { return 1 }
+
+// Partition implements Strategy.
+func (ResilientGrid) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	side := ceilSqrt(numParts)
+	parts := gridAssign(g, side*side, side, seed)
+	if side*side != numParts {
+		for i := range parts {
+			parts[i] = parts[i] % int32(numParts)
+		}
+	}
+	return &Result{EdgeParts: parts}, nil
+}
+
+// gridAssign places each edge on a deterministic member of S(u)∩S(v) for a
+// side×side grid of gridParts partitions.
+func gridAssign(g *graph.Graph, gridParts, side int, seed uint64) []int32 {
+	parts := make([]int32, g.NumEdges())
+	for i, e := range g.Edges {
+		hu := int(hashing.Vertex(seed, e.Src) % uint64(gridParts))
+		hv := int(hashing.Vertex(seed, e.Dst) % uint64(gridParts))
+		ru, cu := hu/side, hu%side
+		rv, cv := hv/side, hv%side
+		// S(u)∩S(v) always contains the two "corner" machines (ru,cv) and
+		// (rv,cu); when u and v share a row or column the intersection is
+		// that whole line. PowerGraph hashes the edge over the candidates.
+		var cands [2]int
+		n := 0
+		cands[n] = ru*side + cv
+		n++
+		if c := rv*side + cu; c != cands[0] {
+			cands[n] = c
+			n++
+		}
+		pick := hashing.EdgeCanonical(seed^0x96d, e.Src, e.Dst) % uint64(n)
+		parts[i] = int32(cands[pick])
+	}
+	return parts
+}

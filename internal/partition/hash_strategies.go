@@ -1,0 +1,134 @@
+package partition
+
+import (
+	"graphpart/internal/graph"
+	"graphpart/internal/hashing"
+)
+
+// Random is PowerGraph's Random hash partitioning (§5.2.1): the hash
+// ignores edge direction, so (u,v) and (v,u) land on the same partition.
+// GraphX calls the same scheme "Canonical Random" (§7.2.1).
+type Random struct{}
+
+// Name implements Strategy.
+func (Random) Name() string { return "Random" }
+
+// Passes implements Strategy.
+func (Random) Passes() int { return 1 }
+
+// Partition implements Strategy.
+func (Random) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	parts := make([]int32, g.NumEdges())
+	for i, e := range g.Edges {
+		parts[i] = int32(hashing.EdgeCanonical(seed, e.Src, e.Dst) % uint64(numParts))
+	}
+	return &Result{EdgeParts: parts}, nil
+}
+
+// CanonicalRandom is GraphX's name for Random; it exists so GraphX
+// experiment output uses the paper's GraphX terminology.
+type CanonicalRandom struct{ Random }
+
+// Name implements Strategy.
+func (CanonicalRandom) Name() string { return "CanonicalRandom" }
+
+// AsymRandom is GraphX's "Random" (§7.2.1): the edge hash is direction
+// sensitive, so (u,v) and (v,u) may land on different partitions. The
+// thesis calls it "Asymmetric Random" when ported to PowerLyra (§8.1) and
+// finds it strictly worse than Random (§8.2.2).
+type AsymRandom struct{}
+
+// Name implements Strategy.
+func (AsymRandom) Name() string { return "AsymRandom" }
+
+// Passes implements Strategy.
+func (AsymRandom) Passes() int { return 1 }
+
+// Partition implements Strategy.
+func (AsymRandom) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	parts := make([]int32, g.NumEdges())
+	for i, e := range g.Edges {
+		parts[i] = int32(hashing.EdgeDirected(seed, e.Src, e.Dst) % uint64(numParts))
+	}
+	return &Result{EdgeParts: parts}, nil
+}
+
+// OneD is GraphX's 1D edge partitioning (§7.2.2): every edge is hashed by
+// its source vertex, colocating each vertex's out-edges.
+type OneD struct{}
+
+// Name implements Strategy.
+func (OneD) Name() string { return "1D" }
+
+// Passes implements Strategy.
+func (OneD) Passes() int { return 1 }
+
+// Partition implements Strategy.
+func (OneD) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	parts := make([]int32, g.NumEdges())
+	for i, e := range g.Edges {
+		parts[i] = int32(hashing.Vertex(seed, e.Src) % uint64(numParts))
+	}
+	return &Result{EdgeParts: parts}, nil
+}
+
+// OneDTarget is the thesis's new variant (§8.2.3): hash edges by their
+// *target* vertex, colocating in-edges — the gather direction of natural
+// applications — so PowerLyra's hybrid engine can gather locally.
+type OneDTarget struct{}
+
+// Name implements Strategy.
+func (OneDTarget) Name() string { return "1D-Target" }
+
+// Passes implements Strategy.
+func (OneDTarget) Passes() int { return 1 }
+
+// Partition implements Strategy.
+func (OneDTarget) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	n := g.NumVertices()
+	parts := make([]int32, g.NumEdges())
+	hint := make([]int32, n)
+	for v := 0; v < n; v++ {
+		hint[v] = int32(hashing.Vertex(seed, graph.VertexID(v)) % uint64(numParts))
+	}
+	for i, e := range g.Edges {
+		parts[i] = hint[e.Dst]
+	}
+	// Master on the partition holding the vertex's in-edges, mirroring how
+	// the engine-integrated variant colocates gather-edges with masters.
+	return &Result{EdgeParts: parts, MasterHint: hint}, nil
+}
+
+// TwoD is GraphX's 2D edge partitioning (§7.2.3): partitions are arranged
+// in a √P×√P matrix, the column picked by the source hash and the row by
+// the destination hash, bounding the replication factor by 2√P−1. When P
+// is not a perfect square the next larger square is used and assignments
+// are mapped back down modulo P, as GraphX does.
+type TwoD struct{}
+
+// Name implements Strategy.
+func (TwoD) Name() string { return "2D" }
+
+// Passes implements Strategy.
+func (TwoD) Passes() int { return 1 }
+
+// Partition implements Strategy.
+func (TwoD) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	side := ceilSqrt(numParts)
+	parts := make([]int32, g.NumEdges())
+	for i, e := range g.Edges {
+		col := hashing.Vertex(seed, e.Src) % uint64(side)
+		row := hashing.Vertex(seed^0x2d, e.Dst) % uint64(side)
+		parts[i] = int32((col*uint64(side) + row) % uint64(numParts))
+	}
+	return &Result{EdgeParts: parts}, nil
+}
+
+// ceilSqrt returns the smallest s with s*s >= n.
+func ceilSqrt(n int) int {
+	s := 0
+	for s*s < n {
+		s++
+	}
+	return s
+}

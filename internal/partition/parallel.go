@@ -1,0 +1,78 @@
+package partition
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"graphpart/internal/graph"
+)
+
+// ParallelPartition partitions g with s using parallel workers. Stateless
+// (hash) strategies shard the edge list across workers and assign with no
+// coordination; everything else falls back to the sequential Partition
+// (the greedy family is inherently order- and state-dependent, which is
+// exactly why the paper's systems run it "obliviously", §5.2.2).
+//
+// The result is identical to Partition for every strategy: parallelism
+// changes wall-clock, never placement.
+func ParallelPartition(g *graph.Graph, s Strategy, numParts int, seed uint64, workers int) (*Assignment, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	hashName := map[string]bool{
+		"Random": true, "CanonicalRandom": true, "AsymRandom": true,
+		"1D": true, "1D-Target": true, "2D": true,
+		"Grid": true, "ResilientGrid": true, "PDS": true,
+	}
+	if !hashName[s.Name()] || workers == 1 || g.NumEdges() < 2*workers {
+		return Partition(g, s, numParts, seed)
+	}
+
+	// Shard the edge list; each worker runs the strategy on its shard.
+	// Hash strategies assign each edge independently, so concatenating
+	// shard results equals the sequential result.
+	m := g.NumEdges()
+	parts := make([]int32, m)
+	var masterHint []int32
+	var hintOnce sync.Once
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := m * w / workers
+		hi := m * (w + 1) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sub := graph.FromEdges(g.Name, g.Edges[lo:hi])
+			res, err := s.Partition(sub, numParts, seed)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			copy(parts[lo:hi], res.EdgeParts)
+			// Master hints are per-vertex hash functions for the hash
+			// strategies; any shard's hint for a vertex matches every
+			// other shard's. Keep the first full-length hint we can get
+			// by recomputing over the full graph once.
+			if len(res.MasterHint) > 0 {
+				hintOnce.Do(func() {
+					full, err := s.Partition(g, numParts, seed)
+					if err == nil {
+						masterHint = full.MasterHint
+					}
+				})
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("partition: parallel worker: %w", err)
+		}
+	}
+	return newAssignment(g, s, numParts, seed, &Result{EdgeParts: parts, MasterHint: masterHint})
+}

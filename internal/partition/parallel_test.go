@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"testing"
+
+	"graphpart/internal/gen"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := gen.PrefAttach("par", 4000, 6, 0x61)
+	for _, name := range []string{"Random", "AsymRandom", "1D", "1D-Target", "2D", "Grid", "ResilientGrid"} {
+		s := MustNew(name, Options{})
+		parts := 9
+		seq, err := Partition(g, s, parts, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			par, err := ParallelPartition(g, s, parts, 5, workers)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, workers, err)
+			}
+			for i := range seq.EdgeParts {
+				if seq.EdgeParts[i] != par.EdgeParts[i] {
+					t.Fatalf("%s/%d workers: edge %d differs (%d vs %d)",
+						name, workers, i, seq.EdgeParts[i], par.EdgeParts[i])
+				}
+			}
+			if seq.ReplicationFactor() != par.ReplicationFactor() {
+				t.Fatalf("%s/%d workers: RF differs", name, workers)
+			}
+			for v := range seq.Masters {
+				if seq.Masters[v] != par.Masters[v] {
+					t.Fatalf("%s/%d workers: master of %d differs", name, workers, v)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelFallsBackForStateful(t *testing.T) {
+	g := gen.RoadNet("par-road", 30, 30, 0x61)
+	seq, err := Partition(g, Oblivious{}, 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelPartition(g, Oblivious{}, 9, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy strategies fall back to the sequential path, so results are
+	// identical.
+	for i := range seq.EdgeParts {
+		if seq.EdgeParts[i] != par.EdgeParts[i] {
+			t.Fatalf("edge %d differs on fallback path", i)
+		}
+	}
+}
+
+func TestParallelTinyGraph(t *testing.T) {
+	g := gen.RoadNet("par-tiny", 3, 3, 1)
+	if _, err := ParallelPartition(g, Random{}, 4, 1, 16); err != nil {
+		t.Fatal(err)
+	}
+}

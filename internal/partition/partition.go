@@ -1,0 +1,244 @@
+// Package partition implements the paper's primary subject: the twelve
+// partitioning strategies shipped by PowerGraph, PowerLyra and GraphX
+// (Table 1.1 plus the thesis's 1D-Target variant and resilient Grid), and
+// the vertex-cut bookkeeping — edge assignments, vertex replicas, masters,
+// replication factor, and balance — that every engine and experiment is
+// built on.
+package partition
+
+import (
+	"fmt"
+
+	"graphpart/internal/graph"
+	"graphpart/internal/hashing"
+)
+
+// Result is what a Strategy produces: a partition id per edge, and
+// optionally a preferred master partition per vertex (PowerLyra's Hybrid
+// family places low-degree masters with their in-edges; -1 or a missing
+// hint means "pick the default master").
+type Result struct {
+	EdgeParts  []int32
+	MasterHint []int32 // optional; len 0 or NumVertices
+}
+
+// Strategy assigns every edge of a graph to one of numParts partitions.
+// Implementations must be deterministic for a given seed.
+type Strategy interface {
+	// Name returns the strategy's display name as used in the paper.
+	Name() string
+	// Passes returns how many passes over the edge list the strategy
+	// makes during ingress (1 for all streaming strategies; 2 for Hybrid;
+	// 3 for Hybrid-Ginger). The ingress-time and memory models use this.
+	Passes() int
+	// Partition assigns edges to partitions.
+	Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error)
+}
+
+// HeuristicStrategy is implemented by the greedy strategies (Oblivious,
+// HDRF, Hybrid-Ginger) whose per-edge ingress cost scales with the number
+// of candidate partitions examined. The ingress model distinguishes these
+// from O(1) hash-based strategies.
+type HeuristicStrategy interface {
+	Strategy
+	// Heuristic reports that per-edge assignment work is O(numParts).
+	Heuristic() bool
+}
+
+// Assignment is a fully-materialized vertex-cut partitioning of a graph:
+// every edge placed on a partition, replica sets and masters derived, and
+// the paper's quality metrics precomputed.
+type Assignment struct {
+	G        *graph.Graph
+	NumParts int
+	Strategy string
+	Passes   int
+
+	EdgeParts []int32
+	Masters   []int32 // -1 for isolated vertices
+	EdgeCount []int64 // edges per partition
+
+	replicas     *bitMatrix // partitions holding any edge of v
+	inEdgeParts  *bitMatrix // partitions holding ≥1 in-edge of v
+	outEdgeParts *bitMatrix // partitions holding ≥1 out-edge of v
+
+	totalReplicas int64
+}
+
+// Partition runs a strategy against a graph and materializes the result.
+func Partition(g *graph.Graph, s Strategy, numParts int, seed uint64) (*Assignment, error) {
+	if numParts < 1 {
+		return nil, fmt.Errorf("partition: numParts must be ≥1, got %d", numParts)
+	}
+	res, err := s.Partition(g, numParts, seed)
+	if err != nil {
+		return nil, fmt.Errorf("partition: strategy %s: %w", s.Name(), err)
+	}
+	if len(res.EdgeParts) != g.NumEdges() {
+		return nil, fmt.Errorf("partition: strategy %s returned %d assignments for %d edges",
+			s.Name(), len(res.EdgeParts), g.NumEdges())
+	}
+	return newAssignment(g, s, numParts, seed, res)
+}
+
+func newAssignment(g *graph.Graph, s Strategy, numParts int, seed uint64, res *Result) (*Assignment, error) {
+	n := g.NumVertices()
+	a := &Assignment{
+		G:            g,
+		NumParts:     numParts,
+		Strategy:     s.Name(),
+		Passes:       s.Passes(),
+		EdgeParts:    res.EdgeParts,
+		EdgeCount:    make([]int64, numParts),
+		replicas:     newBitMatrix(n, numParts),
+		inEdgeParts:  newBitMatrix(n, numParts),
+		outEdgeParts: newBitMatrix(n, numParts),
+	}
+	for i, e := range g.Edges {
+		p := res.EdgeParts[i]
+		if p < 0 || int(p) >= numParts {
+			return nil, fmt.Errorf("partition: strategy %s placed edge %d on partition %d (numParts=%d)",
+				s.Name(), i, p, numParts)
+		}
+		a.EdgeCount[p]++
+		a.replicas.set(int(e.Src), int(p))
+		a.replicas.set(int(e.Dst), int(p))
+		a.outEdgeParts.set(int(e.Src), int(p))
+		a.inEdgeParts.set(int(e.Dst), int(p))
+	}
+
+	// Pick masters. PowerGraph picks one replica at random (§5.1.1); we
+	// pick deterministically by hashing the vertex over its replica list.
+	// A strategy's MasterHint overrides this when the hinted partition
+	// actually holds a replica (Hybrid's low-degree masters).
+	a.Masters = make([]int32, n)
+	for v := 0; v < n; v++ {
+		reps := a.replicas.count(v)
+		if reps == 0 {
+			a.Masters[v] = -1
+			continue
+		}
+		a.totalReplicas += int64(reps)
+		if len(res.MasterHint) == n {
+			if h := res.MasterHint[v]; h >= 0 && int(h) < numParts && a.replicas.has(v, int(h)) {
+				a.Masters[v] = h
+				continue
+			}
+		}
+		pick := int(hashing.Vertex(seed^0xa57e, graph.VertexID(v)) % uint64(reps))
+		idx := 0
+		chosen := int32(-1)
+		a.replicas.forEach(v, func(col int) {
+			if idx == pick {
+				chosen = int32(col)
+			}
+			idx++
+		})
+		a.Masters[v] = chosen
+	}
+	return a, nil
+}
+
+// Replicas returns the number of partitions vertex v is replicated on
+// (master included). Zero for isolated vertices.
+func (a *Assignment) Replicas(v graph.VertexID) int { return a.replicas.count(int(v)) }
+
+// HasReplica reports whether partition p holds a replica of v.
+func (a *Assignment) HasReplica(v graph.VertexID, p int) bool { return a.replicas.has(int(v), p) }
+
+// ForEachReplica calls fn for each partition holding a replica of v.
+func (a *Assignment) ForEachReplica(v graph.VertexID, fn func(p int)) {
+	a.replicas.forEach(int(v), fn)
+}
+
+// Master returns the master partition of v, or -1 if v is isolated.
+func (a *Assignment) Master(v graph.VertexID) int { return int(a.Masters[v]) }
+
+// InEdgePartCount returns how many partitions hold at least one in-edge of v.
+func (a *Assignment) InEdgePartCount(v graph.VertexID) int { return a.inEdgeParts.count(int(v)) }
+
+// OutEdgePartCount returns how many partitions hold at least one out-edge of v.
+func (a *Assignment) OutEdgePartCount(v graph.VertexID) int { return a.outEdgeParts.count(int(v)) }
+
+// HasInEdges reports whether partition p holds ≥1 in-edge of v.
+func (a *Assignment) HasInEdges(v graph.VertexID, p int) bool { return a.inEdgeParts.has(int(v), p) }
+
+// HasOutEdges reports whether partition p holds ≥1 out-edge of v.
+func (a *Assignment) HasOutEdges(v graph.VertexID, p int) bool { return a.outEdgeParts.has(int(v), p) }
+
+// InEdgesLocalToMaster reports whether every in-edge of v lives on v's
+// master partition — the condition under which PowerLyra's hybrid engine
+// performs a purely local gather for an in-gathering application (§6.1).
+func (a *Assignment) InEdgesLocalToMaster(v graph.VertexID) bool {
+	m := a.Master(v)
+	if m < 0 {
+		return true
+	}
+	return a.inEdgeParts.onlyCol(int(v), m)
+}
+
+// OutEdgesLocalToMaster is InEdgesLocalToMaster for out-edges.
+func (a *Assignment) OutEdgesLocalToMaster(v graph.VertexID) bool {
+	m := a.Master(v)
+	if m < 0 {
+		return true
+	}
+	return a.outEdgeParts.onlyCol(int(v), m)
+}
+
+// ReplicationFactor returns the average number of images per vertex over
+// all non-isolated vertices — the paper's headline partition-quality metric
+// (§5.1.1).
+func (a *Assignment) ReplicationFactor() float64 {
+	placed := 0
+	for v := 0; v < a.G.NumVertices(); v++ {
+		if a.Masters[v] >= 0 {
+			placed++
+		}
+	}
+	if placed == 0 {
+		return 0
+	}
+	return float64(a.totalReplicas) / float64(placed)
+}
+
+// TotalReplicas returns the total number of vertex images across all
+// partitions.
+func (a *Assignment) TotalReplicas() int64 { return a.totalReplicas }
+
+// EdgeBalance returns max(edges per partition) / mean(edges per partition),
+// ≥1; 1.0 is perfectly balanced. The load-balance metric the strategies'
+// heuristics optimize.
+func (a *Assignment) EdgeBalance() float64 {
+	if len(a.EdgeCount) == 0 || a.G.NumEdges() == 0 {
+		return 1
+	}
+	var max int64
+	for _, c := range a.EdgeCount {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(a.G.NumEdges()) / float64(a.NumParts)
+	return float64(max) / mean
+}
+
+// ReplicasOnPart returns the number of vertex images partition p holds.
+func (a *Assignment) ReplicasOnPart(p int) int64 {
+	var n int64
+	for v := 0; v < a.G.NumVertices(); v++ {
+		if a.replicas.has(v, p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Mirrors returns the number of mirror images of v (replicas minus master).
+func (a *Assignment) Mirrors(v graph.VertexID) int {
+	r := a.Replicas(v)
+	if r == 0 {
+		return 0
+	}
+	return r - 1
+}

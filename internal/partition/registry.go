@@ -1,0 +1,124 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// System identifies one of the three graph processing systems the paper
+// evaluates.
+type System string
+
+// The three systems of Table 1.1, plus the thesis's "all strategies in one
+// system" configurations of chapters 8 and 9.
+const (
+	PowerGraph   System = "PowerGraph"
+	PowerLyra    System = "PowerLyra"
+	GraphX       System = "GraphX"
+	PowerLyraAll System = "PowerLyra-All"
+	GraphXAll    System = "GraphX-All"
+)
+
+// Options carries per-strategy tunables that experiments may scale.
+type Options struct {
+	// HybridThreshold overrides the Hybrid/H-Ginger high-degree cutoff
+	// (0 keeps PowerLyra's default of 100).
+	HybridThreshold int
+	// Loaders overrides the number of independent ingress loaders used by
+	// the greedy strategies (0 means one per partition).
+	Loaders int
+}
+
+// New constructs a strategy by its paper name. Recognized names:
+// Random, CanonicalRandom, AsymRandom, Oblivious, HDRF, Grid,
+// ResilientGrid, PDS, Hybrid, H-Ginger, 1D, 1D-Target, 2D.
+func New(name string, opt Options) (Strategy, error) {
+	switch name {
+	case "Random":
+		return Random{}, nil
+	case "CanonicalRandom":
+		return CanonicalRandom{}, nil
+	case "AsymRandom":
+		return AsymRandom{}, nil
+	case "Oblivious":
+		return Oblivious{NumLoaders: opt.Loaders}, nil
+	case "HDRF":
+		return HDRF{NumLoaders: opt.Loaders}, nil
+	case "Grid":
+		return Grid{}, nil
+	case "ResilientGrid":
+		return ResilientGrid{}, nil
+	case "PDS":
+		return PDS{}, nil
+	case "Hybrid":
+		return Hybrid{Threshold: opt.HybridThreshold}, nil
+	case "H-Ginger":
+		return HybridGinger{Threshold: opt.HybridThreshold}, nil
+	case "1D":
+		return OneD{}, nil
+	case "1D-Target":
+		return OneDTarget{}, nil
+	case "2D":
+		return TwoD{}, nil
+	}
+	return nil, fmt.Errorf("partition: unknown strategy %q (have %v)", name, AllNames())
+}
+
+// MustNew is New that panics on error; for tests and experiment tables.
+func MustNew(name string, opt Options) Strategy {
+	s, err := New(name, opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AllNames returns every registered strategy name, sorted.
+func AllNames() []string {
+	names := []string{
+		"Random", "CanonicalRandom", "AsymRandom", "Oblivious", "HDRF",
+		"Grid", "ResilientGrid", "PDS", "Hybrid", "H-Ginger",
+		"1D", "1D-Target", "2D",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SystemStrategies returns the strategy names each system ships with, in
+// the paper's order (Table 1.1 for the native sets; §8.1/§9.1 for the
+// "all strategies" sets). PDS is included in the native sets, as in Table
+// 1.1, even though the paper's measurements exclude it for cluster-size
+// reasons (§5.2.3); callers whose partition count is incompatible simply
+// skip it.
+func SystemStrategies(sys System) ([]string, error) {
+	switch sys {
+	case PowerGraph:
+		return []string{"Random", "Grid", "Oblivious", "HDRF", "PDS"}, nil
+	case PowerLyra:
+		return []string{"Random", "Grid", "Oblivious", "Hybrid", "H-Ginger", "PDS"}, nil
+	case GraphX:
+		return []string{"AsymRandom", "CanonicalRandom", "1D", "2D"}, nil
+	case PowerLyraAll:
+		// §8.1: PowerLyra's native six plus 1D, 2D, AsymRandom, HDRF and
+		// the thesis's 1D-Target. (CanonicalRandom ≡ Random; omitted.)
+		return []string{
+			"1D", "2D", "AsymRandom", "Grid", "HDRF",
+			"Hybrid", "H-Ginger", "Oblivious", "Random", "1D-Target",
+		}, nil
+	case GraphXAll:
+		// §9.1: GraphX's native four plus Hybrid, Oblivious, HDRF,
+		// H-Ginger, and the resilient Grid.
+		return []string{
+			"ResilientGrid", "Oblivious", "HDRF", "AsymRandom", "Hybrid",
+			"2D", "1D", "H-Ginger", "CanonicalRandom",
+		}, nil
+	}
+	return nil, fmt.Errorf("partition: unknown system %q", sys)
+}
+
+// IsHeuristic reports whether a strategy does O(numParts) work per edge
+// during ingress (the greedy family), as opposed to O(1) hashing.
+func IsHeuristic(s Strategy) bool {
+	h, ok := s.(HeuristicStrategy)
+	return ok && h.Heuristic()
+}

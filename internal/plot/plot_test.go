@@ -1,0 +1,89 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterRender(t *testing.T) {
+	s := &Scatter{
+		Title:  "net vs RF",
+		XLabel: "replication factor",
+		YLabel: "GB",
+		Points: []Point{
+			{X: 2, Y: 1, Label: "Grid"},
+			{X: 5, Y: 3, Label: "Random"},
+		},
+		Trend: &[2]float64{0.6, 0},
+	}
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"net vs RF", "replication factor", "Grid", "Random", "*", "o", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter output missing %q", want)
+		}
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Scatter{Title: "empty"}).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty scatter should say 'no data'")
+	}
+	// Single point and identical coordinates must not divide by zero.
+	sb.Reset()
+	s := &Scatter{Title: "one", Points: []Point{{X: 3, Y: 3, Label: "a"}, {X: 3, Y: 3, Label: "b"}}}
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("degenerate ranges produced NaN")
+	}
+}
+
+func TestLinesRender(t *testing.T) {
+	l := &Lines{
+		Title:  "cumulative time",
+		XLabel: "iterations",
+		YLabel: "s",
+		X:      []float64{1, 5, 10, 25},
+		Series: []Series{
+			{Name: "CR", Y: []float64{1, 2, 3, 6}},
+			{Name: "HDRF", Y: []float64{2, 2.5, 3, 4}},
+		},
+	}
+	var sb strings.Builder
+	if err := l.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cumulative time", "iterations", "*=CR", "o=HDRF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lines output missing %q", want)
+		}
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Lines{Title: "empty"}).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty lines should say 'no data'")
+	}
+	sb.Reset()
+	flat := &Lines{Title: "flat", X: []float64{1, 2}, Series: []Series{{Name: "s", Y: []float64{5, 5}}}}
+	if err := flat.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("flat series produced NaN")
+	}
+}
