@@ -6,12 +6,17 @@
 //
 //	gengraph -dataset uk-web -scale 2 -o ukweb.txt
 //	gengraph -kind road -n 10000 -o road.txt
+//	gengraph -kind road -n 100000000 -stream -o road.txt   # O(batch) memory
 //	gengraph -kind prefattach -n 50000 -m 10 -o social.txt
 //	gengraph -kind powerlaw -n 50000 -alpha 2.0 -o pl.txt
 //	gengraph -kind web -n 50000 -alpha 1.8 -o web.txt
+//
+// With -stream, generators that can emit edges incrementally (road) write
+// batches straight to the output without ever materializing the edge list.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -33,8 +38,47 @@ func main() {
 		alpha   = flag.Float64("alpha", 2.0, "power-law exponent (powerlaw/web)")
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		out     = flag.String("o", "", "output file (default stdout)")
+		stream  = flag.Bool("stream", false, "stream edge batches to the output without materializing the graph (road only)")
+		batch   = flag.Int("batch", 0, "edges per stream batch (0 = default)")
 	)
 	flag.Parse()
+
+	if *stream {
+		if *dataset != "" {
+			log.Fatal("gengraph: -stream does not support -dataset (datasets materialize); use -kind road")
+		}
+		if *kind != "road" {
+			log.Fatalf("gengraph: -stream supports -kind road (got %q); the degree-sequence generators need the whole stub multiset", *kind)
+		}
+		side := latticeSide(*n)
+		w := bufio.NewWriter(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = bufio.NewWriter(f)
+		}
+		// Counts are unknown up front when streaming; the header carries
+		// only the name (comment lines are ignored by the readers).
+		if _, err := fmt.Fprintf(w, "# road (streamed %dx%d lattice)\n", side, side); err != nil {
+			log.Fatal(err)
+		}
+		var edges int64
+		err := gen.StreamRoadNet(side, side, *seed, *batch, func(b []graph.Edge) error {
+			edges += int64(len(b))
+			return graph.WriteEdgeBatch(w, b)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "streamed road{%dx%d} |E|=%d\n", side, side, edges)
+		return
+	}
 
 	var g *graph.Graph
 	var err error
@@ -47,10 +91,7 @@ func main() {
 	case *kind != "":
 		switch *kind {
 		case "road":
-			side := 1
-			for side*side < *n {
-				side++
-			}
+			side := latticeSide(*n)
 			g = gen.RoadNet("road", side, side, *seed)
 		case "prefattach":
 			g = gen.PrefAttach("prefattach", *n, *m, *seed)
@@ -83,4 +124,14 @@ func main() {
 	}
 	cls := graph.Classify(g)
 	fmt.Fprintf(os.Stderr, "wrote %v (%s, max degree %d)\n", g, cls.Class, cls.MaxDegree)
+}
+
+// latticeSide returns the smallest lattice side whose square holds n
+// vertices; streamed and materialized road generation must agree on it.
+func latticeSide(n int) int {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return side
 }

@@ -3,9 +3,14 @@
 // replication factor, edge balance, per-partition loads, and simulated
 // ingress time.
 //
+// With -stream and a stateless (hash-family) strategy, the input file is
+// consumed in batches and never materialized: memory stays O(|V|·P/8) bits
+// plus one batch, no matter how large the edge list is.
+//
 // Usage:
 //
 //	partition -input graph.txt -strategy HDRF -parts 16
+//	partition -input huge.txt -strategy Grid -parts 25 -stream
 //	partition -dataset uk-web -strategy Grid -parts 25 -verbose
 //	partition -strategies            # list strategy names
 package main
@@ -35,6 +40,9 @@ func main() {
 		machines  = flag.Int("machines", 0, "cluster machines for the ingress model (default: parts)")
 		seed      = flag.Uint64("seed", 1, "hash seed")
 		threshold = flag.Int("hybrid-threshold", 30, "Hybrid/H-Ginger high-degree cutoff")
+		workers   = flag.Int("workers", 0, "parallel ingress workers for the materialized path (0 = GOMAXPROCS; -stream is single-pass sequential)")
+		stream    = flag.Bool("stream", false, "stream -input in batches without materializing the edge list (stateless strategies only)")
+		batch     = flag.Int("batch", 0, "edges per stream batch (0 = default)")
 		verbose   = flag.Bool("verbose", false, "print per-partition loads")
 		list      = flag.Bool("strategies", false, "list available strategies and exit")
 		recommend = flag.Bool("recommend", false, "also print the decision-tree recommendation for this graph")
@@ -48,8 +56,17 @@ func main() {
 		return
 	}
 
+	s, err := partition.New(*strategy, partition.Options{HybridThreshold: *threshold})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *stream {
+		streamPartition(s, *input, *parts, *seed, *batch, *verbose)
+		return
+	}
+
 	var g *graph.Graph
-	var err error
 	switch {
 	case *dataset != "":
 		g, err = datasets.Load(*dataset, *scale)
@@ -62,11 +79,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	s, err := partition.New(*strategy, partition.Options{HybridThreshold: *threshold})
-	if err != nil {
-		log.Fatal(err)
-	}
-	a, err := partition.Partition(g, s, *parts, *seed)
+	a, err := partition.ParallelPartition(g, s, *parts, *seed, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,21 +93,8 @@ func main() {
 
 	cls := graph.Classify(g)
 	fmt.Printf("graph:               %v (%s)\n", g, cls.Class)
-	fmt.Printf("strategy:            %s (%d pass(es))\n", s.Name(), s.Passes())
-	fmt.Printf("partitions:          %d\n", a.NumParts)
-	fmt.Printf("replication factor:  %.4f\n", a.ReplicationFactor())
-	fmt.Printf("total replicas:      %d\n", a.TotalReplicas())
-	fmt.Printf("edge balance:        %.4f (max/mean)\n", a.EdgeBalance())
-	fmt.Printf("ingress (simulated): %.4fs on %d machines\n", ing.Seconds, m)
-
-	if *verbose {
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "\npartition\tedges\treplicas")
-		for p := 0; p < a.NumParts; p++ {
-			fmt.Fprintf(w, "%d\t%d\t%d\n", p, a.EdgeCount[p], a.ReplicasOnPart(p))
-		}
-		w.Flush()
-	}
+	printMetrics(s, *parts, a, a.EdgeCount, *verbose,
+		fmt.Sprintf("ingress (simulated): %.4fs on %d machines", ing.Seconds, m))
 
 	if *recommend {
 		for _, sys := range []partition.System{partition.PowerGraph, partition.PowerLyra, partition.GraphXAll} {
@@ -106,5 +106,83 @@ func main() {
 			}
 			fmt.Printf("recommended for %-14s %s\n", sys+":", rec)
 		}
+	}
+}
+
+// streamPartition runs the memory-bounded batch ingress for a stateless
+// strategy: the edge list is read once and never held in memory.
+func streamPartition(s partition.Strategy, input string, parts int, seed uint64, batch int, verbose bool) {
+	if input == "" {
+		log.Fatal("partition: -stream needs -input FILE")
+	}
+	ss, ok := s.(partition.StatelessStrategy)
+	if !ok {
+		shape := partition.ShapeOf(s, parts)
+		why := shape.MultiPassReason
+		if why == "" {
+			why = "its loaders keep per-vertex placement state over the whole stream"
+		}
+		log.Fatalf("partition: %s cannot stream a file in bounded memory: %s", s.Name(), why)
+	}
+	b, err := partition.NewStreamBuilder(ss, parts, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	_, _, err = graph.StreamEdgeList(input, f, batch, func(offset int64, edges []graph.Edge) error {
+		return b.Feed(partition.EdgeBatch{Offset: offset, Edges: edges})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := b.Finish()
+	fmt.Printf("graph:               %s{|V|=%d |E|=%d} (streamed)\n", input, sum.NumVertices, sum.NumEdges)
+	printMetrics(s, parts, sum, sum.EdgeCount, verbose, "")
+}
+
+// partitionSummary is the metric surface shared by the materialized
+// Assignment and the streamed StreamSummary.
+type partitionSummary interface {
+	ReplicationFactor() float64
+	TotalReplicas() int64
+	EdgeBalance() float64
+	ReplicasOnPart(p int) int64
+}
+
+// printMetrics renders the common quality-metric block (plus the optional
+// extra line and the -verbose per-partition table) for either ingress path.
+func printMetrics(s partition.Strategy, parts int, sum partitionSummary, edgeCount []int64, verbose bool, extra string) {
+	fmt.Printf("strategy:            %s (%s)\n", s.Name(), shapeString(s, parts))
+	fmt.Printf("partitions:          %d\n", parts)
+	fmt.Printf("replication factor:  %.4f\n", sum.ReplicationFactor())
+	fmt.Printf("total replicas:      %d\n", sum.TotalReplicas())
+	fmt.Printf("edge balance:        %.4f (max/mean)\n", sum.EdgeBalance())
+	if extra != "" {
+		fmt.Println(extra)
+	}
+	if verbose {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "\npartition\tedges\treplicas")
+		for p := 0; p < parts; p++ {
+			fmt.Fprintf(w, "%d\t%d\t%d\n", p, edgeCount[p], sum.ReplicasOnPart(p))
+		}
+		w.Flush()
+	}
+}
+
+// shapeString renders a strategy's capability-derived ingress shape.
+func shapeString(s partition.Strategy, parts int) string {
+	shape := partition.ShapeOf(s, parts)
+	switch {
+	case shape.MultiPassReason != "":
+		return fmt.Sprintf("%d passes: %s", shape.Passes, shape.MultiPassReason)
+	case shape.Loaders > 0:
+		return fmt.Sprintf("1 streaming pass, %d independent loaders", shape.Loaders)
+	default:
+		return "1 streaming pass, stateless"
 	}
 }

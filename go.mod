@@ -1,0 +1,3 @@
+module graphpart
+
+go 1.22

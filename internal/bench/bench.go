@@ -181,7 +181,9 @@ var (
 )
 
 // assignment partitions a named dataset with a named strategy, caching the
-// result (experiments share many assignments).
+// result (experiments share many assignments). It runs the parallel
+// streaming pipeline, which is placement-identical to the sequential path
+// for every strategy.
 func assignment(cfg Config, dataset, strategy string, parts int) (*partition.Assignment, error) {
 	key := asgKey{dataset, cfg.scale(), strategy, parts, cfg.HybridThreshold, cfg.Seed}
 	asgMu.Lock()
@@ -199,7 +201,7 @@ func assignment(cfg Config, dataset, strategy string, parts int) (*partition.Ass
 	if err != nil {
 		return nil, err
 	}
-	a, err := partition.Partition(g, s, parts, cfg.Seed)
+	a, err := partition.ParallelPartition(g, s, parts, cfg.Seed, 0)
 	if err != nil {
 		return nil, err
 	}

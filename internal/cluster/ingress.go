@@ -29,22 +29,6 @@ type IngressPhase struct {
 	MemPerMachine float64
 }
 
-// heuristicPasses reports how many of a strategy's passes pay the
-// O(numParts) greedy scoring cost.
-func heuristicPasses(s partition.Strategy) int {
-	if !partition.IsHeuristic(s) {
-		return 0
-	}
-	if s.Passes() >= 3 {
-		// H-Ginger: the hybrid degree pass plus the Fennel-style
-		// refinement sweep both score O(numParts) candidates, and the
-		// sweep additionally walks every low-degree vertex's in-edges —
-		// the paper's "significantly slower ingress" (§6.4.4).
-		return 3
-	}
-	return 1
-}
-
 // Ingress computes the simulated ingress phase for an assignment produced
 // by strategy s on cluster cfg.
 //
@@ -55,6 +39,10 @@ func heuristicPasses(s partition.Strategy) int {
 // replicas. Multi-pass strategies (Hybrid: 2, H-Ginger: 3) repeat the scan
 // and reshuffle, and hold larger buffers — reproducing both their slower
 // ingress (Fig 6.4) and their above-trend peak memory (Fig 6.2).
+//
+// Pass structure, heuristic pricing and loader counts all come from the
+// strategy's capability interfaces via partition.ShapeOf — the model knows
+// no strategy names.
 func Ingress(a *partition.Assignment, s partition.Strategy, cfg Config, model CostModel) IngressStats {
 	m := float64(cfg.Machines)
 	edges := float64(a.G.NumEdges())
@@ -67,8 +55,9 @@ func Ingress(a *partition.Assignment, s partition.Strategy, cfg Config, model Co
 	// Phase 2: assignment. Hash strategies pay HashAssignNs per edge; the
 	// greedy family pays HeuristicAssignNs per candidate partition
 	// (candidate set ≈ all partitions) per edge.
-	passes := s.Passes()
-	hp := heuristicPasses(s)
+	shape := partition.ShapeOf(s, a.NumParts)
+	passes := shape.Passes
+	hp := shape.HeuristicPasses
 	assignPerEdge := model.HashAssignNs * float64(passes)
 	if hp > 0 {
 		assignPerEdge += model.HeuristicAssignNs * float64(a.NumParts) * float64(hp)
@@ -121,6 +110,17 @@ func Ingress(a *partition.Assignment, s partition.Strategy, cfg Config, model Co
 	}
 	bufFactor := model.IngressBufferFactor
 	stateBytes := 0.0
+	if shape.Streaming && shape.Loaders > 0 {
+		// Greedy streaming strategies hold per-loader state: the placement
+		// bit-matrix A(v), one bit per vertex per partition. Each machine
+		// hosts ⌈loaders/M⌉ independent loader states during ingress
+		// (§5.2.2). Degree counters stay governed by DegreeCounterBytes in
+		// the multi-pass branch below; HDRF's partial degrees are small
+		// next to A(v) and are not charged separately.
+		perLoaderState := verts * float64(a.NumParts) / 8
+		loadersPerMachine := float64((shape.Loaders + cfg.Machines - 1) / cfg.Machines)
+		stateBytes += loadersPerMachine * perLoaderState
+	}
 	if passes >= 2 {
 		bufFactor += 0.6 * float64(passes-1)
 		stateBytes += verts * float64(model.DegreeCounterBytes)

@@ -16,20 +16,35 @@ import (
 	"graphpart/internal/hashing"
 )
 
-// RoadNet generates a road-network-like graph: a w×h 2-D lattice with both
-// directions of every road present, a fraction of streets removed, and a
-// sprinkle of diagonal "shortcut" roads. The result is connected-ish,
-// low-degree (max total degree ≤ ~16), and high-diameter — the road-net-CA /
-// road-net-USA regime.
-func RoadNet(name string, w, h int, seed uint64) *graph.Graph {
+// StreamRoadNet emits the road network RoadNet builds — a w×h 2-D lattice
+// with both directions of every road present, a fraction of streets
+// removed, and a sprinkle of diagonal "shortcut" roads — in batches of
+// ~batchSize edges (at most batchSize+1, since roads are emitted as
+// bidirectional pairs; ≤0 means 64Ki), without ever materializing the edge
+// list. The batch slice is reused between calls; fn must copy anything it
+// retains. Identical seed ⇒ identical edges to RoadNet, in the same order.
+func StreamRoadNet(w, h int, seed uint64, batchSize int, fn func(edges []graph.Edge) error) error {
+	if batchSize <= 0 {
+		batchSize = 1 << 16
+	}
 	rng := hashing.NewRNG(seed)
 	id := func(x, y int) graph.VertexID { return graph.VertexID(y*w + x) }
-	var edges []graph.Edge
+	batch := make([]graph.Edge, 0, batchSize+1)
+	var ferr error
 	addRoad := func(a, b graph.VertexID) {
-		edges = append(edges, graph.Edge{Src: a, Dst: b}, graph.Edge{Src: b, Dst: a})
+		if ferr != nil {
+			// A flush already failed; a later flush must not overwrite
+			// (and potentially clear) the error.
+			return
+		}
+		batch = append(batch, graph.Edge{Src: a, Dst: b}, graph.Edge{Src: b, Dst: a})
+		if len(batch) >= batchSize {
+			ferr = fn(batch)
+			batch = batch[:0]
+		}
 	}
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
+	for y := 0; y < h && ferr == nil; y++ {
+		for x := 0; x < w && ferr == nil; x++ {
 			// Drop ~12% of grid streets to create irregularity, but keep the
 			// lattice largely intact so diameter stays Θ(w+h).
 			if x+1 < w && rng.Float64() >= 0.12 {
@@ -44,6 +59,25 @@ func RoadNet(name string, w, h int, seed uint64) *graph.Graph {
 			}
 		}
 	}
+	if ferr != nil {
+		return ferr
+	}
+	if len(batch) > 0 {
+		return fn(batch)
+	}
+	return nil
+}
+
+// RoadNet generates a road-network-like graph: StreamRoadNet with the
+// batches collected. The result is connected-ish, low-degree (max total
+// degree ≤ ~16), and high-diameter — the road-net-CA / road-net-USA regime.
+func RoadNet(name string, w, h int, seed uint64) *graph.Graph {
+	var edges []graph.Edge
+	// The collector callback never fails, so StreamRoadNet cannot either.
+	_ = StreamRoadNet(w, h, seed, 0, func(batch []graph.Edge) error {
+		edges = append(edges, batch...)
+		return nil
+	})
 	return graph.FromEdges(name, edges)
 }
 

@@ -1,0 +1,49 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+
+	"graphpart/internal/graph"
+)
+
+// TestStreamRoadNetMatchesRoadNet asserts the streaming generator emits
+// exactly the edges RoadNet materializes, in order, for any batch size.
+func TestStreamRoadNetMatchesRoadNet(t *testing.T) {
+	want := RoadNet("road", 17, 13, 0x42)
+	for _, batchSize := range []int{1, 7, 1 << 16} {
+		var got []graph.Edge
+		err := StreamRoadNet(17, 13, 0x42, batchSize, func(batch []graph.Edge) error {
+			got = append(got, batch...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batchSize, err)
+		}
+		if len(got) != want.NumEdges() {
+			t.Fatalf("batch=%d: %d edges, want %d", batchSize, len(got), want.NumEdges())
+		}
+		for i := range got {
+			if got[i] != want.Edges[i] {
+				t.Fatalf("batch=%d: edge %d = %v, want %v", batchSize, i, got[i], want.Edges[i])
+			}
+		}
+	}
+}
+
+// TestStreamRoadNetAbortsOnError asserts generation stops at the first
+// callback failure instead of grinding through the rest of the lattice.
+func TestStreamRoadNetAbortsOnError(t *testing.T) {
+	sentinel := errors.New("stop")
+	calls := 0
+	err := StreamRoadNet(100, 100, 1, 16, func([]graph.Edge) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after failing, want 1", calls)
+	}
+}

@@ -9,12 +9,38 @@ import (
 	"strings"
 )
 
-// ReadEdgeList parses a plain-text edge list: one "src dst" pair per line,
-// whitespace separated. Lines starting with '#' or '%' are comments (SNAP
-// and DIMACS conventions respectively). This is the storage format the
-// paper uses for all datasets (§4.2).
-func ReadEdgeList(name string, r io.Reader) (*Graph, error) {
-	var edges []Edge
+// DefaultBatchSize is the edge-batch granularity used by the streaming
+// readers when callers pass batchSize ≤ 0.
+const DefaultBatchSize = 1 << 16
+
+// StreamEdgeList parses a plain-text edge list — one "src dst" pair per
+// line, whitespace separated, '#'/'%' comment lines (SNAP and DIMACS
+// conventions) — in batches of batchSize edges, calling fn with each
+// batch's offset (global index of its first edge) and edges. The batch
+// slice is reused between calls; fn must copy anything it retains. Memory
+// stays O(batchSize) regardless of file size, which is what lets stateless
+// strategies partition edge lists that never fit in memory.
+//
+// It returns the total edge count and the maximum vertex id seen (0 when
+// the stream held no edges).
+func StreamEdgeList(name string, r io.Reader, batchSize int, fn func(offset int64, edges []Edge) error) (int64, VertexID, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	batch := make([]Edge, 0, batchSize)
+	var total int64
+	var maxID VertexID
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := fn(total, batch); err != nil {
+			return err
+		}
+		total += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lineNo := 0
@@ -26,20 +52,48 @@ func ReadEdgeList(name string, r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("edge list %s line %d: want at least 2 fields, got %q", name, lineNo, line)
+			return total, maxID, fmt.Errorf("edge list %s line %d: want at least 2 fields, got %q", name, lineNo, line)
 		}
 		src, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("edge list %s line %d: bad src: %w", name, lineNo, err)
+			return total, maxID, fmt.Errorf("edge list %s line %d: bad src: %w", name, lineNo, err)
 		}
 		dst, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("edge list %s line %d: bad dst: %w", name, lineNo, err)
+			return total, maxID, fmt.Errorf("edge list %s line %d: bad dst: %w", name, lineNo, err)
 		}
-		edges = append(edges, Edge{VertexID(src), VertexID(dst)})
+		if VertexID(src) > maxID {
+			maxID = VertexID(src)
+		}
+		if VertexID(dst) > maxID {
+			maxID = VertexID(dst)
+		}
+		batch = append(batch, Edge{VertexID(src), VertexID(dst)})
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return total, maxID, err
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("edge list %s: %w", name, err)
+		return total, maxID, fmt.Errorf("edge list %s: %w", name, err)
+	}
+	if err := flush(); err != nil {
+		return total, maxID, err
+	}
+	return total, maxID, nil
+}
+
+// ReadEdgeList parses a plain-text edge list into a materialized Graph.
+// This is the storage format the paper uses for all datasets (§4.2); it is
+// StreamEdgeList with the batches collected.
+func ReadEdgeList(name string, r io.Reader) (*Graph, error) {
+	var edges []Edge
+	if _, _, err := StreamEdgeList(name, r, 0, func(_ int64, batch []Edge) error {
+		edges = append(edges, batch...)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return FromEdges(name, edges), nil
 }
@@ -61,12 +115,21 @@ func WriteEdgeList(g *Graph, w io.Writer) error {
 	if _, err := fmt.Fprintf(bw, "# %s: %d vertices, %d edges\n", g.Name, g.NumVertices(), g.NumEdges()); err != nil {
 		return err
 	}
-	for _, e := range g.Edges {
-		if _, err := fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst); err != nil {
+	if err := WriteEdgeBatch(bw, g.Edges); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeBatch appends a batch of edges in edge-list format to w, the
+// producer side of StreamEdgeList. Callers own any buffering and headers.
+func WriteEdgeBatch(w io.Writer, edges []Edge) error {
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(w, "%d %d\n", e.Src, e.Dst); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // SaveEdgeList writes the graph to a file at path.

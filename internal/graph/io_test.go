@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestStreamEdgeListBatches(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# header\n")
+	want := make([]Edge, 0, 10)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", i, i+1)
+		want = append(want, Edge{VertexID(i), VertexID(i + 1)})
+	}
+	for _, batchSize := range []int{1, 3, 10, 100} {
+		var got []Edge
+		var offsets []int64
+		total, maxID, err := StreamEdgeList("t", strings.NewReader(sb.String()), batchSize,
+			func(offset int64, edges []Edge) error {
+				offsets = append(offsets, offset)
+				got = append(got, edges...) // copy: the batch slice is reused
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batchSize, err)
+		}
+		if total != 10 || maxID != 10 {
+			t.Fatalf("batch=%d: total=%d maxID=%d, want 10/10", batchSize, total, maxID)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d: %d edges, want %d", batchSize, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d: edge %d = %v, want %v", batchSize, i, got[i], want[i])
+			}
+		}
+		// Offsets are the global index of each batch's first edge.
+		var next int64
+		for i, off := range offsets {
+			if off != next {
+				t.Fatalf("batch=%d: batch %d offset %d, want %d", batchSize, i, off, next)
+			}
+			size := int64(batchSize)
+			if rem := total - next; size > rem {
+				size = rem
+			}
+			next += size
+		}
+	}
+}
+
+func TestStreamEdgeListPropagatesCallbackError(t *testing.T) {
+	sentinel := errors.New("stop")
+	_, _, err := StreamEdgeList("t", strings.NewReader("1 2\n3 4\n"), 1,
+		func(int64, []Edge) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestStreamEdgeListBadInput(t *testing.T) {
+	for _, bad := range []string{"1\n", "x y\n", "1 z\n"} {
+		if _, _, err := StreamEdgeList("bad", strings.NewReader(bad), 0, func(int64, []Edge) error { return nil }); err == nil {
+			t.Errorf("StreamEdgeList(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func TestWriteEdgeBatchRoundTrip(t *testing.T) {
+	edges := []Edge{{0, 1}, {2, 3}, {4, 0}}
+	var buf bytes.Buffer
+	buf.WriteString("# streamed\n")
+	if err := WriteEdgeBatch(&buf, edges[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeBatch(&buf, edges[2:]); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadEdgeList("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != len(edges) {
+		t.Fatalf("%d edges, want %d", g.NumEdges(), len(edges))
+	}
+	for i, e := range edges {
+		if g.Edges[i] != e {
+			t.Fatalf("edge %d = %v, want %v", i, g.Edges[i], e)
+		}
+	}
+}

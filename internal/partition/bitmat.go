@@ -16,6 +16,27 @@ func newBitMatrix(rows, cols int) *bitMatrix {
 	return &bitMatrix{cols: cols, words: w, bits: make([]uint64, rows*w)}
 }
 
+// ensureRows grows the matrix to hold at least rows rows, reallocating
+// geometrically so streamed ingress can discover the vertex count as it
+// consumes batches.
+func (m *bitMatrix) ensureRows(rows int) {
+	need := rows * m.words
+	if need <= len(m.bits) {
+		return
+	}
+	if need <= cap(m.bits) {
+		m.bits = m.bits[:need]
+		return
+	}
+	newCap := 2 * cap(m.bits)
+	if newCap < need {
+		newCap = need
+	}
+	nb := make([]uint64, need, newCap)
+	copy(nb, m.bits)
+	m.bits = nb
+}
+
 func (m *bitMatrix) set(row int, col int) {
 	m.bits[row*m.words+col/64] |= 1 << uint(col%64)
 }

@@ -7,11 +7,18 @@ import (
 	"graphpart/internal/hashing"
 )
 
+func init() {
+	Register("Oblivious", func(opt Options) Strategy { return Oblivious{NumLoaders: opt.Loaders} })
+	Register("HDRF", func(opt Options) Strategy { return HDRF{NumLoaders: opt.Loaders} })
+}
+
 // loaderState is the per-loader view used by the greedy strategies. In the
 // real systems, ingress is distributed: each machine streams its share of
 // the edge list and greedily places edges using only the assignments *it*
 // has made — it is "oblivious" to the other loaders (§5.2.2). We reproduce
-// that by striping the edge list across numLoaders independent states.
+// that by striping the edge list across numLoaders independent states,
+// exposed through the StreamingStrategy capability so the blocks can run
+// concurrently.
 type loaderState struct {
 	parts *bitMatrix // A(v): partitions this loader has placed v's edges on
 	load  []int64    // edges this loader has assigned to each partition
@@ -57,6 +64,28 @@ func (st *loaderState) place(e graph.Edge, p int) {
 	st.parts.set(int(e.Dst), p)
 }
 
+// greedyLoader adapts a loaderState to the Loader interface: one block of
+// the edge stream, one private state, no cross-loader coordination.
+type greedyLoader struct {
+	st       *loaderState
+	numParts int
+	hdrf     bool    // select HDRF scoring over Oblivious case logic
+	lambda   float64 // HDRF's λ
+	cands    []int
+}
+
+// Assign implements Loader.
+func (l *greedyLoader) Assign(e graph.Edge) int32 {
+	var p int
+	if l.hdrf {
+		p = hdrfPick(l.st, e, l.numParts, l.lambda)
+	} else {
+		p = obliviousPick(l.st, e, l.numParts, &l.cands)
+	}
+	l.st.place(e, p)
+	return int32(p)
+}
+
 // Oblivious is PowerGraph's greedy heuristic (§5.2.2, Appendix A). For
 // each edge (u,v) with current placement sets A(u), A(v):
 //
@@ -80,9 +109,21 @@ func (Oblivious) Passes() int { return 1 }
 // Heuristic implements HeuristicStrategy.
 func (Oblivious) Heuristic() bool { return true }
 
+// Loaders implements StreamingStrategy.
+func (o Oblivious) Loaders(numParts int) int { return loadersOrDefault(o.NumLoaders, numParts) }
+
+// NewLoader implements StreamingStrategy.
+func (o Oblivious) NewLoader(numVertices, numParts, id int, seed uint64) Loader {
+	return &greedyLoader{
+		st:       newLoaderState(numVertices, numParts, hashing.Combine(seed, uint64(id)), false),
+		numParts: numParts,
+		cands:    make([]int, 0, numParts),
+	}
+}
+
 // Partition implements Strategy.
 func (o Oblivious) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
-	return greedyPartition(g, numParts, seed, o.NumLoaders, nil)
+	return streamingPartition(o, g, numParts, seed)
 }
 
 // HDRF is High-Degree Replicated First (§5.2.4, Appendix B): greedy like
@@ -109,46 +150,36 @@ func (HDRF) Passes() int { return 1 }
 // Heuristic implements HeuristicStrategy.
 func (HDRF) Heuristic() bool { return true }
 
-// Partition implements Strategy.
-func (h HDRF) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+// Loaders implements StreamingStrategy.
+func (h HDRF) Loaders(numParts int) int { return loadersOrDefault(h.NumLoaders, numParts) }
+
+// NewLoader implements StreamingStrategy.
+func (h HDRF) NewLoader(numVertices, numParts, id int, seed uint64) Loader {
 	lambda := h.Lambda
 	if lambda == 0 {
 		lambda = 1
 	}
-	return greedyPartition(g, numParts, seed, h.NumLoaders, &lambda)
+	return &greedyLoader{
+		st:       newLoaderState(numVertices, numParts, hashing.Combine(seed, uint64(id)), true),
+		numParts: numParts,
+		hdrf:     true,
+		lambda:   lambda,
+	}
 }
 
-// greedyPartition runs the shared greedy loop. hdrfLambda nil selects
-// Oblivious case logic; non-nil selects HDRF scoring with that λ.
-func greedyPartition(g *graph.Graph, numParts int, seed uint64, numLoaders int, hdrfLambda *float64) (*Result, error) {
-	if numLoaders <= 0 {
-		numLoaders = numParts
-	}
-	n := g.NumVertices()
-	loaders := make([]*loaderState, numLoaders)
-	for i := range loaders {
-		loaders[i] = newLoaderState(n, numParts, hashing.Combine(seed, uint64(i)), hdrfLambda != nil)
-	}
-	parts := make([]int32, g.NumEdges())
-	cands := make([]int, 0, numParts)
+// Partition implements Strategy.
+func (h HDRF) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return streamingPartition(h, g, numParts, seed)
+}
 
-	// Each loader streams a contiguous block of the edge list, as
-	// PowerGraph's parallel ingress does ("all datasets were split into as
-	// many blocks as there are machines", §5.3). Block locality is what
-	// lets the greedy heuristics exploit the ordering of low-degree graphs.
-	m := g.NumEdges()
-	for i, e := range g.Edges {
-		st := loaders[i*numLoaders/max(m, 1)]
-		var p int
-		if hdrfLambda != nil {
-			p = hdrfPick(st, e, numParts, *hdrfLambda)
-		} else {
-			p = obliviousPick(st, e, numParts, &cands)
-		}
-		st.place(e, p)
-		parts[i] = int32(p)
+// loadersOrDefault resolves a NumLoaders option: 0 means one loader per
+// partition (one per machine in the paper's single-partition-per-machine
+// clusters).
+func loadersOrDefault(numLoaders, numParts int) int {
+	if numLoaders <= 0 {
+		return numParts
 	}
-	return &Result{EdgeParts: parts}, nil
+	return numLoaders
 }
 
 func obliviousPick(st *loaderState, e graph.Edge, numParts int, scratch *[]int) int {

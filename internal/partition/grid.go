@@ -7,6 +7,11 @@ import (
 	"graphpart/internal/hashing"
 )
 
+func init() {
+	Register("Grid", func(Options) Strategy { return Grid{} })
+	Register("ResilientGrid", func(Options) Strategy { return ResilientGrid{} })
+}
+
 // Grid is PowerGraph's constrained Grid partitioning (§5.2.3, from the
 // GraphBuilder paper): machines form a √P×√P matrix; a vertex's constraint
 // set S(v) is the row plus column of the machine it hashes to; an edge
@@ -21,14 +26,18 @@ func (Grid) Name() string { return "Grid" }
 // Passes implements Strategy.
 func (Grid) Passes() int { return 1 }
 
-// Partition implements Strategy.
-func (Grid) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+// NewAssigner implements StatelessStrategy.
+func (Grid) NewAssigner(numParts int, seed uint64) (Assigner, error) {
 	side := ceilSqrt(numParts)
 	if side*side != numParts {
 		return nil, fmt.Errorf("grid: numParts=%d is not a perfect square", numParts)
 	}
-	parts := gridAssign(g, numParts, side, seed)
-	return &Result{EdgeParts: parts}, nil
+	return gridAssigner{gridParts: numParts, side: side, mod: numParts, seed: seed}, nil
+}
+
+// Partition implements Strategy.
+func (s Grid) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return statelessPartition(s, g, numParts, seed)
 }
 
 // ResilientGrid is the thesis's non-square-tolerant Grid (§9.1): the grid
@@ -43,40 +52,42 @@ func (ResilientGrid) Name() string { return "ResilientGrid" }
 // Passes implements Strategy.
 func (ResilientGrid) Passes() int { return 1 }
 
-// Partition implements Strategy.
-func (ResilientGrid) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+// NewAssigner implements StatelessStrategy.
+func (ResilientGrid) NewAssigner(numParts int, seed uint64) (Assigner, error) {
 	side := ceilSqrt(numParts)
-	parts := gridAssign(g, side*side, side, seed)
-	if side*side != numParts {
-		for i := range parts {
-			parts[i] = parts[i] % int32(numParts)
-		}
-	}
-	return &Result{EdgeParts: parts}, nil
+	return gridAssigner{gridParts: side * side, side: side, mod: numParts, seed: seed}, nil
 }
 
-// gridAssign places each edge on a deterministic member of S(u)∩S(v) for a
-// side×side grid of gridParts partitions.
-func gridAssign(g *graph.Graph, gridParts, side int, seed uint64) []int32 {
-	parts := make([]int32, g.NumEdges())
-	for i, e := range g.Edges {
-		hu := int(hashing.Vertex(seed, e.Src) % uint64(gridParts))
-		hv := int(hashing.Vertex(seed, e.Dst) % uint64(gridParts))
-		ru, cu := hu/side, hu%side
-		rv, cv := hv/side, hv%side
-		// S(u)∩S(v) always contains the two "corner" machines (ru,cv) and
-		// (rv,cu); when u and v share a row or column the intersection is
-		// that whole line. PowerGraph hashes the edge over the candidates.
-		var cands [2]int
-		n := 0
-		cands[n] = ru*side + cv
+// Partition implements Strategy.
+func (s ResilientGrid) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return statelessPartition(s, g, numParts, seed)
+}
+
+// gridAssigner places each edge on a deterministic member of S(u)∩S(v) for
+// a side×side grid of gridParts partitions, mapped down modulo mod.
+type gridAssigner struct {
+	gridParts int
+	side      int
+	mod       int
+	seed      uint64
+}
+
+func (a gridAssigner) Assign(e graph.Edge) int32 {
+	hu := int(hashing.Vertex(a.seed, e.Src) % uint64(a.gridParts))
+	hv := int(hashing.Vertex(a.seed, e.Dst) % uint64(a.gridParts))
+	ru, cu := hu/a.side, hu%a.side
+	rv, cv := hv/a.side, hv%a.side
+	// S(u)∩S(v) always contains the two "corner" machines (ru,cv) and
+	// (rv,cu); when u and v share a row or column the intersection is
+	// that whole line. PowerGraph hashes the edge over the candidates.
+	var cands [2]int
+	n := 0
+	cands[n] = ru*a.side + cv
+	n++
+	if c := rv*a.side + cu; c != cands[0] {
+		cands[n] = c
 		n++
-		if c := rv*side + cu; c != cands[0] {
-			cands[n] = c
-			n++
-		}
-		pick := hashing.EdgeCanonical(seed^0x96d, e.Src, e.Dst) % uint64(n)
-		parts[i] = int32(cands[pick])
 	}
-	return parts
+	pick := hashing.EdgeCanonical(a.seed^0x96d, e.Src, e.Dst) % uint64(n)
+	return int32(cands[pick] % a.mod)
 }

@@ -5,6 +5,15 @@ import (
 	"graphpart/internal/hashing"
 )
 
+func init() {
+	Register("Random", func(Options) Strategy { return Random{} })
+	Register("CanonicalRandom", func(Options) Strategy { return CanonicalRandom{} })
+	Register("AsymRandom", func(Options) Strategy { return AsymRandom{} })
+	Register("1D", func(Options) Strategy { return OneD{} })
+	Register("1D-Target", func(Options) Strategy { return OneDTarget{} })
+	Register("2D", func(Options) Strategy { return TwoD{} })
+}
+
 // Random is PowerGraph's Random hash partitioning (§5.2.1): the hash
 // ignores edge direction, so (u,v) and (v,u) land on the same partition.
 // GraphX calls the same scheme "Canonical Random" (§7.2.1).
@@ -16,13 +25,23 @@ func (Random) Name() string { return "Random" }
 // Passes implements Strategy.
 func (Random) Passes() int { return 1 }
 
+// NewAssigner implements StatelessStrategy.
+func (Random) NewAssigner(numParts int, seed uint64) (Assigner, error) {
+	return randomAssigner{parts: uint64(numParts), seed: seed}, nil
+}
+
 // Partition implements Strategy.
-func (Random) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
-	parts := make([]int32, g.NumEdges())
-	for i, e := range g.Edges {
-		parts[i] = int32(hashing.EdgeCanonical(seed, e.Src, e.Dst) % uint64(numParts))
-	}
-	return &Result{EdgeParts: parts}, nil
+func (s Random) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return statelessPartition(s, g, numParts, seed)
+}
+
+type randomAssigner struct {
+	parts uint64
+	seed  uint64
+}
+
+func (a randomAssigner) Assign(e graph.Edge) int32 {
+	return int32(hashing.EdgeCanonical(a.seed, e.Src, e.Dst) % a.parts)
 }
 
 // CanonicalRandom is GraphX's name for Random; it exists so GraphX
@@ -44,13 +63,23 @@ func (AsymRandom) Name() string { return "AsymRandom" }
 // Passes implements Strategy.
 func (AsymRandom) Passes() int { return 1 }
 
+// NewAssigner implements StatelessStrategy.
+func (AsymRandom) NewAssigner(numParts int, seed uint64) (Assigner, error) {
+	return asymAssigner{parts: uint64(numParts), seed: seed}, nil
+}
+
 // Partition implements Strategy.
-func (AsymRandom) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
-	parts := make([]int32, g.NumEdges())
-	for i, e := range g.Edges {
-		parts[i] = int32(hashing.EdgeDirected(seed, e.Src, e.Dst) % uint64(numParts))
-	}
-	return &Result{EdgeParts: parts}, nil
+func (s AsymRandom) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return statelessPartition(s, g, numParts, seed)
+}
+
+type asymAssigner struct {
+	parts uint64
+	seed  uint64
+}
+
+func (a asymAssigner) Assign(e graph.Edge) int32 {
+	return int32(hashing.EdgeDirected(a.seed, e.Src, e.Dst) % a.parts)
 }
 
 // OneD is GraphX's 1D edge partitioning (§7.2.2): every edge is hashed by
@@ -63,18 +92,31 @@ func (OneD) Name() string { return "1D" }
 // Passes implements Strategy.
 func (OneD) Passes() int { return 1 }
 
+// NewAssigner implements StatelessStrategy.
+func (OneD) NewAssigner(numParts int, seed uint64) (Assigner, error) {
+	return oneDAssigner{parts: uint64(numParts), seed: seed}, nil
+}
+
 // Partition implements Strategy.
-func (OneD) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
-	parts := make([]int32, g.NumEdges())
-	for i, e := range g.Edges {
-		parts[i] = int32(hashing.Vertex(seed, e.Src) % uint64(numParts))
-	}
-	return &Result{EdgeParts: parts}, nil
+func (s OneD) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return statelessPartition(s, g, numParts, seed)
+}
+
+type oneDAssigner struct {
+	parts uint64
+	seed  uint64
+}
+
+func (a oneDAssigner) Assign(e graph.Edge) int32 {
+	return int32(hashing.Vertex(a.seed, e.Src) % a.parts)
 }
 
 // OneDTarget is the thesis's new variant (§8.2.3): hash edges by their
 // *target* vertex, colocating in-edges — the gather direction of natural
-// applications — so PowerLyra's hybrid engine can gather locally.
+// applications — so PowerLyra's hybrid engine can gather locally. Its
+// assigner also hints each vertex's master onto the partition holding its
+// in-edges, mirroring how the engine-integrated variant colocates
+// gather-edges with masters.
 type OneDTarget struct{}
 
 // Name implements Strategy.
@@ -83,20 +125,28 @@ func (OneDTarget) Name() string { return "1D-Target" }
 // Passes implements Strategy.
 func (OneDTarget) Passes() int { return 1 }
 
+// NewAssigner implements StatelessStrategy.
+func (OneDTarget) NewAssigner(numParts int, seed uint64) (Assigner, error) {
+	return oneDTargetAssigner{parts: uint64(numParts), seed: seed}, nil
+}
+
 // Partition implements Strategy.
-func (OneDTarget) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
-	n := g.NumVertices()
-	parts := make([]int32, g.NumEdges())
-	hint := make([]int32, n)
-	for v := 0; v < n; v++ {
-		hint[v] = int32(hashing.Vertex(seed, graph.VertexID(v)) % uint64(numParts))
-	}
-	for i, e := range g.Edges {
-		parts[i] = hint[e.Dst]
-	}
-	// Master on the partition holding the vertex's in-edges, mirroring how
-	// the engine-integrated variant colocates gather-edges with masters.
-	return &Result{EdgeParts: parts, MasterHint: hint}, nil
+func (s OneDTarget) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return statelessPartition(s, g, numParts, seed)
+}
+
+type oneDTargetAssigner struct {
+	parts uint64
+	seed  uint64
+}
+
+func (a oneDTargetAssigner) Assign(e graph.Edge) int32 {
+	return int32(hashing.Vertex(a.seed, e.Dst) % a.parts)
+}
+
+// MasterHint implements MasterHinter.
+func (a oneDTargetAssigner) MasterHint(v graph.VertexID) int32 {
+	return int32(hashing.Vertex(a.seed, v) % a.parts)
 }
 
 // TwoD is GraphX's 2D edge partitioning (§7.2.3): partitions are arranged
@@ -112,16 +162,26 @@ func (TwoD) Name() string { return "2D" }
 // Passes implements Strategy.
 func (TwoD) Passes() int { return 1 }
 
+// NewAssigner implements StatelessStrategy.
+func (TwoD) NewAssigner(numParts int, seed uint64) (Assigner, error) {
+	return twoDAssigner{parts: uint64(numParts), side: uint64(ceilSqrt(numParts)), seed: seed}, nil
+}
+
 // Partition implements Strategy.
-func (TwoD) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
-	side := ceilSqrt(numParts)
-	parts := make([]int32, g.NumEdges())
-	for i, e := range g.Edges {
-		col := hashing.Vertex(seed, e.Src) % uint64(side)
-		row := hashing.Vertex(seed^0x2d, e.Dst) % uint64(side)
-		parts[i] = int32((col*uint64(side) + row) % uint64(numParts))
-	}
-	return &Result{EdgeParts: parts}, nil
+func (s TwoD) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return statelessPartition(s, g, numParts, seed)
+}
+
+type twoDAssigner struct {
+	parts uint64
+	side  uint64
+	seed  uint64
+}
+
+func (a twoDAssigner) Assign(e graph.Edge) int32 {
+	col := hashing.Vertex(a.seed, e.Src) % a.side
+	row := hashing.Vertex(a.seed^0x2d, e.Dst) % a.side
+	return int32((col*a.side + row) % a.parts)
 }
 
 // ceilSqrt returns the smallest s with s*s >= n.

@@ -5,6 +5,11 @@ import (
 	"graphpart/internal/hashing"
 )
 
+func init() {
+	Register("Hybrid", func(opt Options) Strategy { return Hybrid{Threshold: opt.HybridThreshold} })
+	Register("H-Ginger", func(opt Options) Strategy { return HybridGinger{Threshold: opt.HybridThreshold} })
+}
+
 // DefaultHybridThreshold is PowerLyra's default high-degree cutoff (§6.2.1).
 // Experiments on the scaled synthetic datasets pass a smaller value via the
 // Threshold field so that the high-degree population is proportionally
@@ -25,8 +30,17 @@ type Hybrid struct {
 // Name implements Strategy.
 func (Hybrid) Name() string { return "Hybrid" }
 
-// Passes implements Strategy.
-func (Hybrid) Passes() int { return 2 }
+// Passes implements Strategy, derived from MultiPass so the two can never
+// drift apart.
+func (h Hybrid) Passes() int { p, _, _ := h.MultiPass(); return p }
+
+// MultiPass implements MultiPassStrategy: hybrid-cut must know every
+// destination's in-degree before it can place that destination's edges, so
+// a degree-discovery scan precedes the placement scan and single-pass
+// bounded-memory streaming is impossible.
+func (Hybrid) MultiPass() (passes, heuristicPasses int, why string) {
+	return 2, 0, "needs a full degree-counting scan before any edge can be placed (§6.2.1)"
+}
 
 func (h Hybrid) threshold() int {
 	if h.Threshold <= 0 {
@@ -88,8 +102,18 @@ type HybridGinger struct {
 // Name implements Strategy.
 func (HybridGinger) Name() string { return "H-Ginger" }
 
-// Passes implements Strategy.
-func (HybridGinger) Passes() int { return 3 }
+// Passes implements Strategy, derived from MultiPass so the two can never
+// drift apart.
+func (hg HybridGinger) Passes() int { p, _, _ := hg.MultiPass(); return p }
+
+// MultiPass implements MultiPassStrategy. All three passes pay greedy
+// O(numParts) scoring in the ingress model: the degree pass, the placement
+// pass, and the Fennel-style refinement sweep, which additionally walks
+// every low-degree vertex's in-edges — the paper's "significantly slower
+// ingress" (§6.4.4).
+func (HybridGinger) MultiPass() (passes, heuristicPasses int, why string) {
+	return 3, 3, "hybrid's degree-counting scan plus a Fennel-style refinement sweep over vertex homes (§6.2.2)"
+}
 
 // Heuristic implements HeuristicStrategy.
 func (HybridGinger) Heuristic() bool { return true }

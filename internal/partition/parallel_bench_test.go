@@ -1,0 +1,84 @@
+package partition
+
+import (
+	"sync"
+	"testing"
+
+	"graphpart/internal/gen"
+	"graphpart/internal/graph"
+)
+
+// bench1M lazily builds the ~1M-edge heavy-tailed graph shared by the
+// ingress benchmarks (170k vertices × 6 edges each ≈ 1.02M edges).
+var bench1M = sync.OnceValue(func() *graph.Graph {
+	return gen.PrefAttach("bench-1m", 170_000, 6, 0x9e)
+})
+
+// BenchmarkStatelessIngress1M measures stateless-strategy ingress plus
+// assignment materialization on a 1M-edge graph: the sequential reference
+// against the capability-dispatched parallel pipeline. The acceptance bar
+// for the streaming refactor is ≥2x wall-clock at GOMAXPROCS ≥ 4.
+func BenchmarkStatelessIngress1M(b *testing.B) {
+	g := bench1M()
+	for _, s := range []Strategy{Random{}, TwoD{}, Grid{}} {
+		b.Run(s.Name()+"/sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Partition(g, s, 9, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(s.Name()+"/parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ParallelPartition(g, s, 9, 1, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamingIngress1M measures the greedy streaming family, whose
+// independent loader blocks run concurrently in the parallel pipeline.
+func BenchmarkStreamingIngress1M(b *testing.B) {
+	g := bench1M()
+	for _, s := range []Strategy{Oblivious{}, HDRF{}} {
+		b.Run(s.Name()+"/sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Partition(g, s, 9, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(s.Name()+"/parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ParallelPartition(g, s, 9, 1, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamBuilder1M measures the memory-bounded batch ingress path
+// (assign + replica bookkeeping, no edge list retained).
+func BenchmarkStreamBuilder1M(b *testing.B) {
+	g := bench1M()
+	for i := 0; i < b.N; i++ {
+		sb, err := NewStreamBuilder(Random{}, 9, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const batch = 1 << 16
+		for lo := 0; lo < g.NumEdges(); lo += batch {
+			hi := lo + batch
+			if hi > g.NumEdges() {
+				hi = g.NumEdges()
+			}
+			if err := sb.Feed(EdgeBatch{Offset: int64(lo), Edges: g.Edges[lo:hi]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sb.Finish()
+	}
+}

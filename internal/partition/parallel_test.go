@@ -1,21 +1,38 @@
 package partition
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"graphpart/internal/gen"
+	"graphpart/internal/graph"
 )
 
+// partsFor picks a partition count every strategy accepts: Grid needs a
+// perfect square, PDS needs p²+p+1.
+func partsFor(name string) int {
+	if name == "PDS" {
+		return 7
+	}
+	return 9
+}
+
+// TestParallelMatchesSequential asserts, for every registered strategy and
+// several worker counts, that the streaming/parallel pipeline's Assignment
+// is byte-identical to the sequential path: same EdgeParts, same Masters,
+// same replication factor, same per-partition loads.
 func TestParallelMatchesSequential(t *testing.T) {
 	g := gen.PrefAttach("par", 4000, 6, 0x61)
-	for _, name := range []string{"Random", "AsymRandom", "1D", "1D-Target", "2D", "Grid", "ResilientGrid"} {
-		s := MustNew(name, Options{})
-		parts := 9
+	workerCounts := []int{1, 3, runtime.GOMAXPROCS(0)}
+	for _, name := range AllNames() {
+		s := MustNew(name, Options{HybridThreshold: 30})
+		parts := partsFor(name)
 		seq, err := Partition(g, s, parts, 5)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		for _, workers := range []int{2, 4, 7} {
+		for _, workers := range workerCounts {
 			par, err := ParallelPartition(g, s, parts, 5, workers)
 			if err != nil {
 				t.Fatalf("%s/%d: %v", name, workers, err)
@@ -27,39 +44,123 @@ func TestParallelMatchesSequential(t *testing.T) {
 				}
 			}
 			if seq.ReplicationFactor() != par.ReplicationFactor() {
-				t.Fatalf("%s/%d workers: RF differs", name, workers)
+				t.Fatalf("%s/%d workers: RF differs (%v vs %v)",
+					name, workers, seq.ReplicationFactor(), par.ReplicationFactor())
 			}
 			for v := range seq.Masters {
 				if seq.Masters[v] != par.Masters[v] {
-					t.Fatalf("%s/%d workers: master of %d differs", name, workers, v)
+					t.Fatalf("%s/%d workers: master of %d differs (%d vs %d)",
+						name, workers, v, seq.Masters[v], par.Masters[v])
+				}
+			}
+			for p := range seq.EdgeCount {
+				if seq.EdgeCount[p] != par.EdgeCount[p] {
+					t.Fatalf("%s/%d workers: partition %d load differs", name, workers, p)
 				}
 			}
 		}
 	}
 }
 
-func TestParallelFallsBackForStateful(t *testing.T) {
-	g := gen.RoadNet("par-road", 30, 30, 0x61)
-	seq, err := Partition(g, Oblivious{}, 9, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	par, err := ParallelPartition(g, Oblivious{}, 9, 5, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Greedy strategies fall back to the sequential path, so results are
-	// identical.
-	for i := range seq.EdgeParts {
-		if seq.EdgeParts[i] != par.EdgeParts[i] {
-			t.Fatalf("edge %d differs on fallback path", i)
+// counting wrappers: forward a strategy's capabilities while counting how
+// often its full-graph Partition runs.
+
+type countingStrategy struct {
+	Strategy
+	calls *int32
+}
+
+func (c countingStrategy) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	atomic.AddInt32(c.calls, 1)
+	return c.Strategy.Partition(g, numParts, seed)
+}
+
+type countingStateless struct{ countingStrategy }
+
+func (c countingStateless) NewAssigner(numParts int, seed uint64) (Assigner, error) {
+	return c.Strategy.(StatelessStrategy).NewAssigner(numParts, seed)
+}
+
+type countingStreaming struct{ countingStrategy }
+
+func (c countingStreaming) Loaders(numParts int) int {
+	return c.Strategy.(StreamingStrategy).Loaders(numParts)
+}
+
+func (c countingStreaming) NewLoader(numVertices, numParts, id int, seed uint64) Loader {
+	return c.Strategy.(StreamingStrategy).NewLoader(numVertices, numParts, id, seed)
+}
+
+// TestParallelNeverPartitionsTwice is the regression test for the old
+// hintOnce fallback, which re-ran a full sequential partition inside the
+// parallel path to recover master hints. One ParallelPartition call must
+// run the strategy's full-graph Partition at most once — and not at all for
+// stateless/streaming strategies, whose assigners and loaders replace it.
+func TestParallelNeverPartitionsTwice(t *testing.T) {
+	g := gen.PrefAttach("par-count", 2000, 5, 0x13)
+	for _, name := range AllNames() {
+		inner := MustNew(name, Options{HybridThreshold: 30})
+		var calls int32
+		wrapped := countingStrategy{Strategy: inner, calls: &calls}
+		var s Strategy
+		var wantCalls int32
+		switch inner.(type) {
+		case StatelessStrategy:
+			s, wantCalls = countingStateless{wrapped}, 0
+		case StreamingStrategy:
+			s, wantCalls = countingStreaming{wrapped}, 0
+		default:
+			s, wantCalls = wrapped, 1
+		}
+		if _, err := ParallelPartition(g, s, partsFor(name), 5, 4); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := atomic.LoadInt32(&calls); got != wantCalls {
+			t.Errorf("%s: full-graph Partition ran %d times in one ParallelPartition call, want %d",
+				name, got, wantCalls)
 		}
 	}
 }
 
 func TestParallelTinyGraph(t *testing.T) {
 	g := gen.RoadNet("par-tiny", 3, 3, 1)
-	if _, err := ParallelPartition(g, Random{}, 4, 1, 16); err != nil {
-		t.Fatal(err)
+	for _, name := range []string{"Random", "Oblivious", "Hybrid"} {
+		s := MustNew(name, Options{HybridThreshold: 30})
+		seq, err := Partition(g, s, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		par, err := ParallelPartition(g, s, 4, 1, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range seq.EdgeParts {
+			if seq.EdgeParts[i] != par.EdgeParts[i] {
+				t.Fatalf("%s: edge %d differs on tiny graph", name, i)
+			}
+		}
 	}
+}
+
+// TestParallelRejectsBadAssignments asserts the sharded builder validates
+// partition ids like the serial one.
+func TestParallelRejectsBadAssignments(t *testing.T) {
+	g := gen.RoadNet("par-bad", 5, 5, 1)
+	var calls int32
+	bad := countingStrategy{Strategy: badStrategy{}, calls: &calls}
+	if _, err := ParallelPartition(g, bad, 4, 1, 4); err == nil {
+		t.Fatal("out-of-range assignment accepted by parallel builder")
+	}
+}
+
+type badStrategy struct{}
+
+func (badStrategy) Name() string { return "Bad" }
+func (badStrategy) Passes() int  { return 1 }
+func (badStrategy) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	parts := make([]int32, g.NumEdges())
+	for i := range parts {
+		parts[i] = int32(numParts) // every edge out of range
+	}
+	return &Result{EdgeParts: parts}, nil
 }

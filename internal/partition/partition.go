@@ -1,16 +1,41 @@
-// Package partition implements the paper's primary subject: the twelve
+// Package partition implements the paper's primary subject: the thirteen
 // partitioning strategies shipped by PowerGraph, PowerLyra and GraphX
 // (Table 1.1 plus the thesis's 1D-Target variant and resilient Grid), and
 // the vertex-cut bookkeeping — edge assignments, vertex replicas, masters,
 // replication factor, and balance — that every engine and experiment is
 // built on.
+//
+// # Ingress capabilities
+//
+// Strategies are dispatched by capability, never by name. Beyond the base
+// Strategy interface, a strategy may implement:
+//
+//   - StatelessStrategy: placement is a pure per-edge function (the hash
+//     family: Random, CanonicalRandom, AsymRandom, 1D, 1D-Target, 2D, Grid,
+//     ResilientGrid, PDS). The edge stream shards arbitrarily across
+//     workers; per-vertex master hints, when produced, come from the
+//     assigner's MasterHinter per vertex shard.
+//   - StreamingStrategy: single-pass greedy ingress over independent
+//     per-loader state (Oblivious, HDRF), matching the paper's
+//     one-loader-per-machine semantics (§5.2.2). Loader blocks run
+//     concurrently and the result is identical to the sequential pass.
+//   - MultiPassStrategy: cannot stream in one bounded-memory pass (Hybrid,
+//     H-Ginger); declares its pass structure and the reason.
+//
+// ShapeOf folds these into an IngressShape for schedulers and cost models.
+// New strategies self-register via Register from an init function; no
+// central construction switch exists.
+//
+// Ingress runs either materialized — Partition / ParallelPartition produce
+// an Assignment over an in-memory graph — or streamed: a StreamBuilder
+// consumes EdgeBatch chunks for a stateless strategy in O(|V|·P/8) memory
+// without ever holding the edge list.
 package partition
 
 import (
 	"fmt"
 
 	"graphpart/internal/graph"
-	"graphpart/internal/hashing"
 )
 
 // Result is what a Strategy produces: a partition id per edge, and
@@ -65,7 +90,9 @@ type Assignment struct {
 	totalReplicas int64
 }
 
-// Partition runs a strategy against a graph and materializes the result.
+// Partition runs a strategy against a graph and materializes the result
+// sequentially. ParallelPartition is the multi-worker equivalent; both
+// produce identical assignments.
 func Partition(g *graph.Graph, s Strategy, numParts int, seed uint64) (*Assignment, error) {
 	if numParts < 1 {
 		return nil, fmt.Errorf("partition: numParts must be ≥1, got %d", numParts)
@@ -78,10 +105,13 @@ func Partition(g *graph.Graph, s Strategy, numParts int, seed uint64) (*Assignme
 		return nil, fmt.Errorf("partition: strategy %s returned %d assignments for %d edges",
 			s.Name(), len(res.EdgeParts), g.NumEdges())
 	}
-	return newAssignment(g, s, numParts, seed, res)
+	return newAssignment(g, s, numParts, seed, res, 1)
 }
 
-func newAssignment(g *graph.Graph, s Strategy, numParts int, seed uint64, res *Result) (*Assignment, error) {
+// newAssignment materializes a strategy result into an Assignment using the
+// given number of workers (≤1 means serial). Worker count never changes the
+// result, only wall-clock.
+func newAssignment(g *graph.Graph, s Strategy, numParts int, seed uint64, res *Result, workers int) (*Assignment, error) {
 	n := g.NumVertices()
 	a := &Assignment{
 		G:            g,
@@ -94,11 +124,17 @@ func newAssignment(g *graph.Graph, s Strategy, numParts int, seed uint64, res *R
 		inEdgeParts:  newBitMatrix(n, numParts),
 		outEdgeParts: newBitMatrix(n, numParts),
 	}
+	if workers > 1 {
+		if err := a.buildParallel(res, seed, workers); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}
 	for i, e := range g.Edges {
 		p := res.EdgeParts[i]
 		if p < 0 || int(p) >= numParts {
 			return nil, fmt.Errorf("partition: strategy %s placed edge %d on partition %d (numParts=%d)",
-				s.Name(), i, p, numParts)
+				a.Strategy, i, p, numParts)
 		}
 		a.EdgeCount[p]++
 		a.replicas.set(int(e.Src), int(p))
@@ -119,22 +155,11 @@ func newAssignment(g *graph.Graph, s Strategy, numParts int, seed uint64, res *R
 			continue
 		}
 		a.totalReplicas += int64(reps)
+		hint := int32(-1)
 		if len(res.MasterHint) == n {
-			if h := res.MasterHint[v]; h >= 0 && int(h) < numParts && a.replicas.has(v, int(h)) {
-				a.Masters[v] = h
-				continue
-			}
+			hint = res.MasterHint[v]
 		}
-		pick := int(hashing.Vertex(seed^0xa57e, graph.VertexID(v)) % uint64(reps))
-		idx := 0
-		chosen := int32(-1)
-		a.replicas.forEach(v, func(col int) {
-			if idx == pick {
-				chosen = int32(col)
-			}
-			idx++
-		})
-		a.Masters[v] = chosen
+		a.Masters[v] = chooseMaster(a.replicas, v, reps, hint, numParts, seed)
 	}
 	return a, nil
 }

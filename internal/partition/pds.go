@@ -18,51 +18,67 @@ import (
 // implement it anyway for completeness and test it at P ∈ {7, 13, 21?...}.
 type PDS struct{}
 
+func init() {
+	Register("PDS", func(Options) Strategy { return PDS{} })
+}
+
 // Name implements Strategy.
 func (PDS) Name() string { return "PDS" }
 
 // Passes implements Strategy.
 func (PDS) Passes() int { return 1 }
 
-// Partition implements Strategy.
-func (PDS) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+// NewAssigner implements StatelessStrategy. The assigner carries a scratch
+// membership array, so create one per goroutine.
+func (PDS) NewAssigner(numParts int, seed uint64) (Assigner, error) {
 	ds, err := PerfectDifferenceSet(numParts)
 	if err != nil {
 		return nil, err
 	}
-	// Precompute constraint-set membership: member[p] is a bitmask over
-	// offsets; we need, for machines hu and hv, the unique common element
-	// of S(u) and S(v). (d1+hu) ≡ (d2+hv) mod P for exactly one pair
-	// (d1,d2) when hu≠hv; find it by marking S(u) and scanning S(v).
-	parts := make([]int32, g.NumEdges())
-	inSu := make([]bool, numParts)
-	for i, e := range g.Edges {
-		hu := int(hashing.Vertex(seed, e.Src) % uint64(numParts))
-		hv := int(hashing.Vertex(seed, e.Dst) % uint64(numParts))
-		for _, d := range ds {
-			inSu[(d+hu)%numParts] = true
-		}
-		chosen := -1
-		nFound := 0
-		for _, d := range ds {
-			c := (d + hv) % numParts
-			if inSu[c] {
-				nFound++
-				if chosen < 0 {
-					chosen = c
-				}
+	return &pdsAssigner{parts: numParts, seed: seed, ds: ds, inSu: make([]bool, numParts)}, nil
+}
+
+// Partition implements Strategy.
+func (s PDS) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return statelessPartition(s, g, numParts, seed)
+}
+
+type pdsAssigner struct {
+	parts int
+	seed  uint64
+	ds    []int
+	inSu  []bool // scratch: constraint-set membership of S(u)
+}
+
+// Assign finds, for machines hu and hv, the unique common element of S(u)
+// and S(v): (d1+hu) ≡ (d2+hv) mod P for exactly one pair (d1,d2) when
+// hu≠hv; find it by marking S(u) and scanning S(v).
+func (a *pdsAssigner) Assign(e graph.Edge) int32 {
+	numParts, ds := a.parts, a.ds
+	hu := int(hashing.Vertex(a.seed, e.Src) % uint64(numParts))
+	hv := int(hashing.Vertex(a.seed, e.Dst) % uint64(numParts))
+	for _, d := range ds {
+		a.inSu[(d+hu)%numParts] = true
+	}
+	chosen := -1
+	nFound := 0
+	for _, d := range ds {
+		c := (d + hv) % numParts
+		if a.inSu[c] {
+			nFound++
+			if chosen < 0 {
+				chosen = c
 			}
 		}
-		if nFound > 1 {
-			// hu == hv: S(u) == S(v); hash the edge over the whole set.
-			chosen = (ds[hashing.EdgeCanonical(seed^0x9d5, e.Src, e.Dst)%uint64(len(ds))] + hu) % numParts
-		}
-		for _, d := range ds {
-			inSu[(d+hu)%numParts] = false
-		}
-		parts[i] = int32(chosen)
 	}
-	return &Result{EdgeParts: parts}, nil
+	if nFound > 1 {
+		// hu == hv: S(u) == S(v); hash the edge over the whole set.
+		chosen = (ds[hashing.EdgeCanonical(a.seed^0x9d5, e.Src, e.Dst)%uint64(len(ds))] + hu) % numParts
+	}
+	for _, d := range ds {
+		a.inSu[(d+hu)%numParts] = false
+	}
+	return int32(chosen)
 }
 
 // PerfectDifferenceSet finds a perfect difference set modulo n, i.e. a set

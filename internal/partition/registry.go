@@ -3,6 +3,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // System identifies one of the three graph processing systems the paper
@@ -29,39 +30,44 @@ type Options struct {
 	Loaders int
 }
 
-// New constructs a strategy by its paper name. Recognized names:
+// Factory constructs a strategy from options. Factories are registered by
+// each strategy file's init, so adding a strategy needs no central edits.
+type Factory func(Options) Strategy
+
+var (
+	regMu     sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register adds a strategy factory under its paper name. It panics on an
+// empty name, nil factory, or duplicate registration — all programmer
+// errors at init time.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("partition: Register with empty strategy name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("partition: Register(%q) with nil factory", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("partition: duplicate strategy registration %q", name))
+	}
+	factories[name] = f
+}
+
+// New constructs a registered strategy by its paper name. The built-in set:
 // Random, CanonicalRandom, AsymRandom, Oblivious, HDRF, Grid,
 // ResilientGrid, PDS, Hybrid, H-Ginger, 1D, 1D-Target, 2D.
 func New(name string, opt Options) (Strategy, error) {
-	switch name {
-	case "Random":
-		return Random{}, nil
-	case "CanonicalRandom":
-		return CanonicalRandom{}, nil
-	case "AsymRandom":
-		return AsymRandom{}, nil
-	case "Oblivious":
-		return Oblivious{NumLoaders: opt.Loaders}, nil
-	case "HDRF":
-		return HDRF{NumLoaders: opt.Loaders}, nil
-	case "Grid":
-		return Grid{}, nil
-	case "ResilientGrid":
-		return ResilientGrid{}, nil
-	case "PDS":
-		return PDS{}, nil
-	case "Hybrid":
-		return Hybrid{Threshold: opt.HybridThreshold}, nil
-	case "H-Ginger":
-		return HybridGinger{Threshold: opt.HybridThreshold}, nil
-	case "1D":
-		return OneD{}, nil
-	case "1D-Target":
-		return OneDTarget{}, nil
-	case "2D":
-		return TwoD{}, nil
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("partition: unknown strategy %q (have %v)", name, AllNames())
 	}
-	return nil, fmt.Errorf("partition: unknown strategy %q (have %v)", name, AllNames())
+	return f(opt), nil
 }
 
 // MustNew is New that panics on error; for tests and experiment tables.
@@ -75,10 +81,11 @@ func MustNew(name string, opt Options) Strategy {
 
 // AllNames returns every registered strategy name, sorted.
 func AllNames() []string {
-	names := []string{
-		"Random", "CanonicalRandom", "AsymRandom", "Oblivious", "HDRF",
-		"Grid", "ResilientGrid", "PDS", "Hybrid", "H-Ginger",
-		"1D", "1D-Target", "2D",
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(factories))
+	for name := range factories {
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names

@@ -97,7 +97,7 @@ func ReadAssignment(g *graph.Graph, r io.Reader) (*Assignment, error) {
 
 	// Rebuild through the standard constructor for full validation.
 	stub := savedStrategy{name: string(name), passes: int(passes)}
-	a, err := newAssignment(g, stub, int(numParts), 0, &Result{EdgeParts: edgeParts, MasterHint: masters})
+	a, err := newAssignment(g, stub, int(numParts), 0, &Result{EdgeParts: edgeParts, MasterHint: masters}, 1)
 	if err != nil {
 		return nil, err
 	}

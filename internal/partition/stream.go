@@ -1,0 +1,358 @@
+package partition
+
+import (
+	"fmt"
+
+	"graphpart/internal/graph"
+	"graphpart/internal/hashing"
+)
+
+// EdgeBatch is one chunk of an edge stream: a run of edges plus the global
+// offset of Edges[0] within the stream. Batches are how the ingress pipeline
+// moves edges between loaders, strategies and the assignment builder without
+// ever requiring the whole edge list in memory.
+type EdgeBatch struct {
+	Offset int64
+	Edges  []graph.Edge
+}
+
+// Assigner is a per-edge placement function produced by a StatelessStrategy
+// for a fixed (numParts, seed). Assign must depend only on the edge — never
+// on call order or on previously assigned edges — which is what makes
+// stateless ingress embarrassingly parallel. Assigners may carry scratch
+// buffers and are NOT safe for concurrent use; they are cheap to construct,
+// so create one per goroutine.
+type Assigner interface {
+	Assign(e graph.Edge) int32
+}
+
+// MasterHinter is implemented by Assigners whose strategy also emits a
+// per-vertex master hint (a pure function of the vertex id, e.g. 1D-Target's
+// hash-by-target). Hints are produced per vertex shard by the parallel
+// pipeline; no full sequential re-partition is ever needed.
+type MasterHinter interface {
+	MasterHint(v graph.VertexID) int32
+}
+
+// StatelessStrategy is the capability of the whole hash family (Random,
+// CanonicalRandom, AsymRandom, 1D, 1D-Target, 2D, Grid, ResilientGrid, PDS):
+// edge placement is a pure function of the edge, so the edge stream can be
+// sharded arbitrarily across workers with no coordination and no state.
+type StatelessStrategy interface {
+	Strategy
+	// NewAssigner builds the per-edge placement function for (numParts,
+	// seed), returning an error for invalid partition counts (Grid's
+	// perfect-square requirement, PDS's p²+p+1 requirement).
+	NewAssigner(numParts int, seed uint64) (Assigner, error)
+}
+
+// Loader is one independent loader state of a StreamingStrategy. Assign
+// consumes the loader's share of the edge stream in order, updating the
+// loader's private state (placement sets, loads, partial degrees) as the
+// paper's "oblivious" ingress does (§5.2.2).
+type Loader interface {
+	Assign(e graph.Edge) int32
+}
+
+// StreamingStrategy is the capability of the greedy single-pass family
+// (Oblivious, HDRF): ingress runs as numLoaders *independent* loaders, each
+// streaming a contiguous block of the edge list with its own private state
+// and no cross-loader coordination — exactly the paper's multi-machine
+// ingress semantics (§5.2.2). Because loaders never share state, the blocks
+// can run concurrently and the result is identical to the sequential pass.
+type StreamingStrategy interface {
+	Strategy
+	// Loaders returns the number of independent loader states used when
+	// partitioning into numParts partitions (the paper runs one loader per
+	// machine; the default is one per partition).
+	Loaders(numParts int) int
+	// NewLoader builds loader #id of Loaders(numParts) with its own seed
+	// stream and private state.
+	NewLoader(numVertices, numParts, id int, seed uint64) Loader
+}
+
+// MultiPassStrategy is the capability of strategies that cannot consume the
+// edge stream in a single bounded-memory pass (Hybrid, H-Ginger). MultiPass
+// declares the pass structure — total scans over the edge list, how many of
+// them pay O(numParts) greedy scoring per edge — and why single-pass
+// streaming is impossible, so schedulers and the ingress model need no
+// per-name knowledge.
+type MultiPassStrategy interface {
+	Strategy
+	MultiPass() (passes, heuristicPasses int, why string)
+}
+
+// IngressShape describes how a strategy consumes the edge stream during
+// ingress, derived entirely from its capability interfaces. The cluster
+// ingress model and scheduling decisions are functions of this shape, never
+// of strategy names.
+type IngressShape struct {
+	// Passes is the number of full scans over the edge list.
+	Passes int
+	// HeuristicPasses is how many of those passes pay O(numParts) greedy
+	// scoring per edge (0 for pure hash strategies).
+	HeuristicPasses int
+	// Streaming reports single-pass bounded-memory stream consumption.
+	Streaming bool
+	// Loaders is the number of independent loader states (0 when the
+	// strategy keeps no per-loader state).
+	Loaders int
+	// MultiPassReason is non-empty for multi-pass strategies: why the
+	// strategy cannot stream in one pass.
+	MultiPassReason string
+}
+
+// ShapeOf derives a strategy's ingress shape from its capabilities:
+// StatelessStrategy → one hash pass; StreamingStrategy → one pass over
+// independent sharded loaders (heuristic-priced if the strategy is greedy);
+// MultiPassStrategy → whatever the strategy declares. Strategies with none
+// of the capabilities fall back to Passes()/IsHeuristic.
+func ShapeOf(s Strategy, numParts int) IngressShape {
+	if mp, ok := s.(MultiPassStrategy); ok {
+		p, hp, why := mp.MultiPass()
+		return IngressShape{Passes: p, HeuristicPasses: hp, MultiPassReason: why}
+	}
+	if ss, ok := s.(StreamingStrategy); ok {
+		hp := 0
+		if IsHeuristic(s) {
+			hp = 1
+		}
+		return IngressShape{Passes: 1, HeuristicPasses: hp, Streaming: true, Loaders: ss.Loaders(numParts)}
+	}
+	if _, ok := s.(StatelessStrategy); ok {
+		return IngressShape{Passes: 1, Streaming: true}
+	}
+	hp := 0
+	if IsHeuristic(s) {
+		hp = 1
+	}
+	return IngressShape{Passes: s.Passes(), HeuristicPasses: hp}
+}
+
+// loaderBlock returns the contiguous edge-index range [lo, hi) streamed by
+// loader id when m edges are striped over numLoaders loaders: edge i belongs
+// to loader ⌊i·numLoaders/m⌋, matching PowerGraph's "split into as many
+// blocks as there are machines" ingress (§5.3).
+func loaderBlock(m, numLoaders, id int) (lo, hi int) {
+	lo = (id*m + numLoaders - 1) / numLoaders
+	hi = ((id+1)*m + numLoaders - 1) / numLoaders
+	return lo, hi
+}
+
+// statelessPartition is the sequential reference path shared by every
+// StatelessStrategy's Partition method: one assigner streams the whole edge
+// list; hints, when the assigner produces them, are evaluated per vertex.
+func statelessPartition(s StatelessStrategy, g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	asg, err := s.NewAssigner(numParts, seed)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]int32, g.NumEdges())
+	for i, e := range g.Edges {
+		parts[i] = asg.Assign(e)
+	}
+	var hint []int32
+	if h, ok := asg.(MasterHinter); ok {
+		n := g.NumVertices()
+		hint = make([]int32, n)
+		for v := 0; v < n; v++ {
+			hint[v] = h.MasterHint(graph.VertexID(v))
+		}
+	}
+	return &Result{EdgeParts: parts, MasterHint: hint}, nil
+}
+
+// streamingPartition is the sequential reference path shared by every
+// StreamingStrategy's Partition method: loader blocks run one after another,
+// each over its own private state.
+func streamingPartition(s StreamingStrategy, g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	m := g.NumEdges()
+	nl := s.Loaders(numParts)
+	if nl < 1 {
+		nl = 1
+	}
+	parts := make([]int32, m)
+	for id := 0; id < nl; id++ {
+		lo, hi := loaderBlock(m, nl, id)
+		if lo >= hi {
+			continue
+		}
+		ld := s.NewLoader(g.NumVertices(), numParts, id, seed)
+		for i := lo; i < hi; i++ {
+			parts[i] = ld.Assign(g.Edges[i])
+		}
+	}
+	return &Result{EdgeParts: parts}, nil
+}
+
+// --- memory-bounded stream ingress ------------------------------------
+
+// StreamBuilder consumes an edge stream batch by batch for a stateless
+// strategy and accumulates the vertex-cut bookkeeping — per-partition edge
+// counts and the replica/in/out bit-matrices — without ever materializing
+// the edge list. Peak memory is O(|V|·P/8) bits plus one batch, the
+// memory-bounded ingress regime of the paper's real systems.
+//
+// A StreamBuilder is single-goroutine; feed it batches in any order (results
+// are order-independent because the strategy is stateless).
+type StreamBuilder struct {
+	strategy string
+	numParts int
+	seed     uint64
+	asg      Assigner
+	hinter   MasterHinter // nil when the strategy emits no hints
+
+	n         int // vertices seen so far (max id + 1)
+	numEdges  int64
+	edgeCount []int64
+	replicas  *bitMatrix
+	inParts   *bitMatrix
+	outParts  *bitMatrix
+}
+
+// NewStreamBuilder prepares a stream ingress for a stateless strategy.
+func NewStreamBuilder(s StatelessStrategy, numParts int, seed uint64) (*StreamBuilder, error) {
+	if numParts < 1 {
+		return nil, fmt.Errorf("partition: numParts must be ≥1, got %d", numParts)
+	}
+	asg, err := s.NewAssigner(numParts, seed)
+	if err != nil {
+		return nil, fmt.Errorf("partition: strategy %s: %w", s.Name(), err)
+	}
+	b := &StreamBuilder{
+		strategy:  s.Name(),
+		numParts:  numParts,
+		seed:      seed,
+		asg:       asg,
+		edgeCount: make([]int64, numParts),
+		replicas:  newBitMatrix(0, numParts),
+		inParts:   newBitMatrix(0, numParts),
+		outParts:  newBitMatrix(0, numParts),
+	}
+	b.hinter, _ = asg.(MasterHinter)
+	return b, nil
+}
+
+// Feed assigns and accounts one batch of edges. The batch's slice is not
+// retained; callers may reuse it.
+func (b *StreamBuilder) Feed(batch EdgeBatch) error {
+	for i, e := range batch.Edges {
+		if v := int(max(e.Src, e.Dst)) + 1; v > b.n {
+			b.n = v
+			b.replicas.ensureRows(v)
+			b.inParts.ensureRows(v)
+			b.outParts.ensureRows(v)
+		}
+		p := b.asg.Assign(e)
+		if p < 0 || int(p) >= b.numParts {
+			return fmt.Errorf("partition: strategy %s placed edge %d on partition %d (numParts=%d)",
+				b.strategy, batch.Offset+int64(i), p, b.numParts)
+		}
+		b.edgeCount[p]++
+		b.replicas.set(int(e.Src), int(p))
+		b.replicas.set(int(e.Dst), int(p))
+		b.outParts.set(int(e.Src), int(p))
+		b.inParts.set(int(e.Dst), int(p))
+		b.numEdges++
+	}
+	return nil
+}
+
+// Finish derives masters and the quality metrics from the accumulated state.
+// The summary matches what Partition would have computed for the same edges:
+// identical EdgeCount, Masters and ReplicationFactor.
+func (b *StreamBuilder) Finish() *StreamSummary {
+	sum := &StreamSummary{
+		Strategy:     b.strategy,
+		NumParts:     b.numParts,
+		NumVertices:  b.n,
+		NumEdges:     b.numEdges,
+		EdgeCount:    b.edgeCount,
+		Masters:      make([]int32, b.n),
+		replicas:     b.replicas,
+		partReplicas: make([]int64, b.numParts),
+	}
+	for v := 0; v < b.n; v++ {
+		reps := b.replicas.count(v)
+		if reps == 0 {
+			sum.Masters[v] = -1
+			continue
+		}
+		b.replicas.forEach(v, func(p int) { sum.partReplicas[p]++ })
+		sum.totalReplicas += int64(reps)
+		sum.placed++
+		hint := int32(-1)
+		if b.hinter != nil {
+			hint = b.hinter.MasterHint(graph.VertexID(v))
+		}
+		sum.Masters[v] = chooseMaster(b.replicas, v, reps, hint, b.numParts, b.seed)
+	}
+	return sum
+}
+
+// StreamSummary is the outcome of a streamed ingress: everything Assignment
+// offers that does not require the materialized edge list.
+type StreamSummary struct {
+	Strategy    string
+	NumParts    int
+	NumVertices int
+	NumEdges    int64
+	EdgeCount   []int64
+	Masters     []int32 // -1 for isolated vertices
+
+	replicas      *bitMatrix
+	partReplicas  []int64
+	totalReplicas int64
+	placed        int64
+}
+
+// Replicas returns the number of partitions vertex v is replicated on.
+func (s *StreamSummary) Replicas(v graph.VertexID) int { return s.replicas.count(int(v)) }
+
+// ReplicasOnPart returns the number of vertex images partition p holds
+// (precomputed at Finish; O(1)).
+func (s *StreamSummary) ReplicasOnPart(p int) int64 { return s.partReplicas[p] }
+
+// TotalReplicas returns the total number of vertex images.
+func (s *StreamSummary) TotalReplicas() int64 { return s.totalReplicas }
+
+// ReplicationFactor returns the average images per non-isolated vertex.
+func (s *StreamSummary) ReplicationFactor() float64 {
+	if s.placed == 0 {
+		return 0
+	}
+	return float64(s.totalReplicas) / float64(s.placed)
+}
+
+// EdgeBalance returns max/mean edges per partition (≥1; 1.0 is balanced).
+func (s *StreamSummary) EdgeBalance() float64 {
+	if s.NumEdges == 0 {
+		return 1
+	}
+	var max int64
+	for _, c := range s.EdgeCount {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) / (float64(s.NumEdges) / float64(s.NumParts))
+}
+
+// chooseMaster picks vertex v's master: the hint when it holds a replica,
+// else a deterministic hash over the replica list — the exact rule used by
+// the materialized Assignment path.
+func chooseMaster(replicas *bitMatrix, v, reps int, hint int32, numParts int, seed uint64) int32 {
+	if hint >= 0 && int(hint) < numParts && replicas.has(v, int(hint)) {
+		return hint
+	}
+	pick := int(hashing.Vertex(seed^0xa57e, graph.VertexID(v)) % uint64(reps))
+	idx := 0
+	chosen := int32(-1)
+	replicas.forEach(v, func(col int) {
+		if idx == pick {
+			chosen = int32(col)
+		}
+		idx++
+	})
+	return chosen
+}

@@ -1,0 +1,174 @@
+package partition
+
+import (
+	"testing"
+
+	"graphpart/internal/gen"
+	"graphpart/internal/graph"
+)
+
+// feedInBatches pushes a graph's edge list through a StreamBuilder in
+// batches of the given size, reusing one buffer as a file reader would.
+func feedInBatches(t *testing.T, b *StreamBuilder, g *graph.Graph, batchSize int) {
+	t.Helper()
+	buf := make([]graph.Edge, 0, batchSize)
+	offset := int64(0)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		if err := b.Feed(EdgeBatch{Offset: offset, Edges: buf}); err != nil {
+			t.Fatal(err)
+		}
+		offset += int64(len(buf))
+		buf = buf[:0]
+	}
+	for _, e := range g.Edges {
+		buf = append(buf, e)
+		if len(buf) == batchSize {
+			flush()
+		}
+	}
+	flush()
+}
+
+// TestStreamMatchesMaterialized asserts that the memory-bounded stream
+// ingress produces the same bookkeeping as the materialized Partition path
+// for every stateless strategy: edge counts, masters, replica totals,
+// replication factor and balance.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	g := gen.PrefAttach("stream", 3000, 5, 0x71)
+	for _, name := range AllNames() {
+		s := MustNew(name, Options{HybridThreshold: 30})
+		ss, ok := s.(StatelessStrategy)
+		if !ok {
+			continue
+		}
+		parts := partsFor(name)
+		want, err := Partition(g, s, parts, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, batchSize := range []int{1, 97, 4096} {
+			b, err := NewStreamBuilder(ss, parts, 9)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			feedInBatches(t, b, g, batchSize)
+			got := b.Finish()
+			if got.NumEdges != int64(g.NumEdges()) || got.NumVertices != g.NumVertices() {
+				t.Fatalf("%s/batch=%d: sizes |V|=%d |E|=%d, want %d/%d",
+					name, batchSize, got.NumVertices, got.NumEdges, g.NumVertices(), g.NumEdges())
+			}
+			for p := range want.EdgeCount {
+				if want.EdgeCount[p] != got.EdgeCount[p] {
+					t.Fatalf("%s/batch=%d: partition %d holds %d edges, want %d",
+						name, batchSize, p, got.EdgeCount[p], want.EdgeCount[p])
+				}
+			}
+			for v := range want.Masters {
+				if want.Masters[v] != got.Masters[v] {
+					t.Fatalf("%s/batch=%d: master of %d is %d, want %d",
+						name, batchSize, v, got.Masters[v], want.Masters[v])
+				}
+			}
+			for p := 0; p < parts; p++ {
+				if want.ReplicasOnPart(p) != got.ReplicasOnPart(p) {
+					t.Fatalf("%s/batch=%d: partition %d holds %d replicas, want %d",
+						name, batchSize, p, got.ReplicasOnPart(p), want.ReplicasOnPart(p))
+				}
+			}
+			if want.TotalReplicas() != got.TotalReplicas() {
+				t.Fatalf("%s/batch=%d: total replicas %d, want %d",
+					name, batchSize, got.TotalReplicas(), want.TotalReplicas())
+			}
+			if want.ReplicationFactor() != got.ReplicationFactor() {
+				t.Fatalf("%s/batch=%d: RF %v, want %v",
+					name, batchSize, got.ReplicationFactor(), want.ReplicationFactor())
+			}
+			if want.EdgeBalance() != got.EdgeBalance() {
+				t.Fatalf("%s/batch=%d: balance %v, want %v",
+					name, batchSize, got.EdgeBalance(), want.EdgeBalance())
+			}
+		}
+	}
+}
+
+// TestStreamBuilderRejectsStateful documents that the greedy and multi-pass
+// families do not satisfy the stateless capability (the compiler enforces
+// it; this guards against someone "helpfully" adding NewAssigner to them).
+func TestStreamBuilderRejectsStateful(t *testing.T) {
+	for _, name := range []string{"Oblivious", "HDRF", "Hybrid", "H-Ginger"} {
+		if _, ok := MustNew(name, Options{}).(StatelessStrategy); ok {
+			t.Errorf("%s claims to be stateless; its placement depends on stream order/state", name)
+		}
+	}
+}
+
+func TestStreamBuilderEmpty(t *testing.T) {
+	b, err := NewStreamBuilder(Random{}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.Finish()
+	if sum.NumEdges != 0 || sum.NumVertices != 0 {
+		t.Fatalf("empty stream: |V|=%d |E|=%d", sum.NumVertices, sum.NumEdges)
+	}
+	if rf := sum.ReplicationFactor(); rf != 0 {
+		t.Fatalf("empty stream RF = %v", rf)
+	}
+	if bal := sum.EdgeBalance(); bal != 1 {
+		t.Fatalf("empty stream balance = %v", bal)
+	}
+}
+
+func TestStreamBuilderBadParts(t *testing.T) {
+	if _, err := NewStreamBuilder(Random{}, 0, 1); err == nil {
+		t.Error("numParts=0 accepted")
+	}
+	// Grid propagates its perfect-square constraint through NewAssigner.
+	if _, err := NewStreamBuilder(Grid{}, 8, 1); err == nil {
+		t.Error("Grid with non-square parts accepted")
+	}
+}
+
+// TestShapeOf pins the capability-derived ingress shapes the cluster model
+// depends on.
+func TestShapeOf(t *testing.T) {
+	cases := []struct {
+		name      string
+		passes    int
+		heuristic int
+		streaming bool
+		loaders   int
+		multiPass bool
+	}{
+		{"Random", 1, 0, true, 0, false},
+		{"Grid", 1, 0, true, 0, false},
+		{"Oblivious", 1, 1, true, 16, false},
+		{"HDRF", 1, 1, true, 16, false},
+		{"Hybrid", 2, 0, false, 0, true},
+		{"H-Ginger", 3, 3, false, 0, true},
+	}
+	for _, tc := range cases {
+		shape := ShapeOf(MustNew(tc.name, Options{}), 16)
+		if shape.Passes != tc.passes || shape.HeuristicPasses != tc.heuristic ||
+			shape.Streaming != tc.streaming || shape.Loaders != tc.loaders {
+			t.Errorf("%s: shape %+v, want passes=%d hp=%d streaming=%v loaders=%d",
+				tc.name, shape, tc.passes, tc.heuristic, tc.streaming, tc.loaders)
+		}
+		if (shape.MultiPassReason != "") != tc.multiPass {
+			t.Errorf("%s: MultiPassReason %q, want declared=%v", tc.name, shape.MultiPassReason, tc.multiPass)
+		}
+	}
+}
+
+// TestRegisterRejectsDuplicates guards the self-registering factory map.
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("Random", func(Options) Strategy { return Random{} })
+}
