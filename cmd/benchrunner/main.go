@@ -5,13 +5,14 @@
 //
 //	benchrunner -list
 //	benchrunner -run fig5.3,tab5.1
-//	benchrunner -all [-scale 2] [-seed 7]
+//	benchrunner -all [-scale 2] [-seed 7] [-workers 4]
 //	benchrunner -all -markdown > EXPERIMENTS-run.md
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -26,6 +27,7 @@ func main() {
 		all      = flag.Bool("all", false, "run every experiment")
 		scale    = flag.Int("scale", 1, "dataset scale factor")
 		seed     = flag.Uint64("seed", 1, "partitioner seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for partitioning ingress and engine supersteps (0 = all cores)")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain tables")
 	)
 	flag.Parse()
@@ -59,47 +61,74 @@ func main() {
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
+	os.Exit(run(selected, cfg, *markdown, os.Stdout, os.Stderr))
+}
+
+// run executes the selected experiments and returns the process exit code:
+// 0 when every experiment ran and rendered, 1 when any errored — in both
+// plain and markdown modes.
+func run(selected []bench.Experiment, cfg bench.Config, markdown bool, stdout, stderr io.Writer) int {
 	failed := 0
 	for _, e := range selected {
 		start := time.Now()
 		table, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "benchrunner: %s: %v\n", e.ID, err)
 			failed++
 			continue
 		}
-		if *markdown {
-			renderMarkdown(e, table)
+		if markdown {
+			if err := renderMarkdown(stdout, e, table); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: %s: render: %v\n", e.ID, err)
+				failed++
+			}
 		} else {
-			fmt.Printf("paper: %s\n", e.Paper)
-			if err := table.Render(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "benchrunner: %s: render: %v\n", e.ID, err)
+			fmt.Fprintf(stdout, "paper: %s\n", e.Paper)
+			if err := table.Render(stdout); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: %s: render: %v\n", e.ID, err)
 				failed++
 			}
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func renderMarkdown(e bench.Experiment, t *bench.Table) {
-	fmt.Printf("## %s — %s\n\n", t.ID, t.Title)
-	fmt.Printf("**Paper:** %s\n\n", e.Paper)
-	fmt.Printf("| %s |\n", strings.Join(t.Columns, " | "))
+func renderMarkdown(w io.Writer, e bench.Experiment, t *bench.Table) error {
+	ew := &errWriter{w: w}
+	ew.printf("## %s — %s\n\n", t.ID, t.Title)
+	ew.printf("**Paper:** %s\n\n", e.Paper)
+	ew.printf("| %s |\n", strings.Join(t.Columns, " | "))
 	seps := make([]string, len(t.Columns))
 	for i := range seps {
 		seps[i] = "---"
 	}
-	fmt.Printf("| %s |\n", strings.Join(seps, " | "))
+	ew.printf("| %s |\n", strings.Join(seps, " | "))
 	for _, row := range t.Rows {
-		fmt.Printf("| %s |\n", strings.Join(row, " | "))
+		ew.printf("| %s |\n", strings.Join(row, " | "))
 	}
-	fmt.Println()
+	ew.printf("\n")
 	for _, n := range t.Notes {
-		fmt.Printf("- %s\n", n)
+		ew.printf("- %s\n", n)
 	}
-	fmt.Println()
+	ew.printf("\n")
+	return ew.err
+}
+
+// errWriter sticks at the first write error so renderMarkdown can report it
+// instead of silently dropping output.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprintf(ew.w, format, args...)
+	}
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"graphpart/internal/bench"
+)
+
+func goodExperiment() bench.Experiment {
+	return bench.Experiment{
+		ID: "good", Title: "healthy", Paper: "n/a",
+		Run: func(bench.Config) (*bench.Table, error) {
+			tab := &bench.Table{ID: "good", Title: "healthy", Columns: []string{"a"}}
+			tab.AddRow("1")
+			return tab, nil
+		},
+	}
+}
+
+func badExperiment() bench.Experiment {
+	return bench.Experiment{
+		ID: "bad", Title: "broken", Paper: "n/a",
+		Run: func(bench.Config) (*bench.Table, error) {
+			return nil, errors.New("synthetic failure")
+		},
+	}
+}
+
+// failWriter rejects every write, standing in for a closed output pipe.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
+
+// TestRunExitCode is the smoke test for the exit path: any failed
+// experiment — and any failed render, including in markdown mode, which
+// used to swallow render errors — must produce a non-zero exit code.
+func TestRunExitCode(t *testing.T) {
+	cfg := bench.DefaultConfig()
+	for _, markdown := range []bool{false, true} {
+		if code := run([]bench.Experiment{goodExperiment()}, cfg, markdown, io.Discard, io.Discard); code != 0 {
+			t.Errorf("markdown=%v: healthy run exited %d, want 0", markdown, code)
+		}
+		var stderr strings.Builder
+		if code := run([]bench.Experiment{goodExperiment(), badExperiment()}, cfg, markdown, io.Discard, &stderr); code != 1 {
+			t.Errorf("markdown=%v: failing experiment exited %d, want 1", markdown, code)
+		}
+		if !strings.Contains(stderr.String(), "synthetic failure") {
+			t.Errorf("markdown=%v: stderr does not report the failure: %q", markdown, stderr.String())
+		}
+		if code := run([]bench.Experiment{goodExperiment()}, cfg, markdown, failWriter{}, io.Discard); code != 1 {
+			t.Errorf("markdown=%v: render failure exited %d, want 1", markdown, code)
+		}
+	}
+}
+
+// TestRenderMarkdownOutput pins the markdown shape benchrunner emits.
+func TestRenderMarkdownOutput(t *testing.T) {
+	e := goodExperiment()
+	tab, err := e.Run(bench.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Notef("a note")
+	var sb strings.Builder
+	if err := renderMarkdown(&sb, e, tab); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## good — healthy", "| a |", "| --- |", "| 1 |", "- a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -197,11 +197,11 @@ func ablEngine() Experiment {
 					if spec.name != "PageRank(10)" && spec.name != "WCC" {
 						continue
 					}
-					pg, err := spec.run(engine.ModePowerGraph, a, cc, model, cfg.HybridThreshold)
+					pg, err := spec.run(engine.ModePowerGraph, a, cc, model, cfg.engineOpts())
 					if err != nil {
 						return nil, err
 					}
-					lyra, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+					lyra, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.engineOpts())
 					if err != nil {
 						return nil, err
 					}

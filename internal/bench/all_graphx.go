@@ -66,7 +66,7 @@ func gxIterationExperiment(id, dataset, paper string, check func(t *Table, cum m
 					if err != nil {
 						return nil, err
 					}
-					st, err := runGraphXApp(appName, a, graphx.Config{Cluster: cc, Iterations: gx9Iterations}, model)
+					st, err := runGraphXApp(appName, a, cfg.graphxConfig(cc, gx9Iterations), model)
 					if err != nil {
 						return nil, err
 					}
@@ -197,9 +197,9 @@ func fig94() Experiment {
 			var samples []sample
 			for _, frac := range []float64{0.5, 0.8, 1.05, 1.3, 1.8, 2.5, 4, 8, 16} {
 				mem := perMachine*frac + model.ExecutorBase
-				st, err := runGraphXApp("PageRank", a, graphx.Config{
-					Cluster: cc, Iterations: gx9Iterations, ExecutorMemBytes: mem,
-				}, model)
+				gcfg := cfg.graphxConfig(cc, gx9Iterations)
+				gcfg.ExecutorMemBytes = mem
+				st, err := runGraphXApp("PageRank", a, gcfg, model)
 				if err != nil {
 					return nil, err
 				}

@@ -143,7 +143,7 @@ func fig83() Experiment {
 				var stats engine.Stats
 				for _, spec := range paperApps() {
 					if spec.name == "PageRank(10)" {
-						stats, err = spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+						stats, err = spec.run(engine.ModePowerLyra, a, cc, model, cfg.engineOpts())
 						if err != nil {
 							return nil, err
 						}
@@ -235,7 +235,7 @@ func fig84() Experiment {
 					var stats engine.Stats
 					for _, spec := range paperApps() {
 						if spec.name == appName {
-							stats, err = spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+							stats, err = spec.run(engine.ModePowerLyra, a, cc, model, cfg.engineOpts())
 							if err != nil {
 								return nil, err
 							}

@@ -29,7 +29,7 @@ const prConvTolerance = 1e-2
 type appSpec struct {
 	name    string
 	natural bool
-	run     func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, thr int) (engine.Stats, error)
+	run     func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, opts engine.Options) (engine.Stats, error)
 }
 
 // ssspSource picks a deterministic well-connected source: the max-degree
@@ -52,9 +52,9 @@ func paperApps() []appSpec {
 	return []appSpec{
 		{
 			name: "PageRank(10)", natural: true,
-			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, thr int) (engine.Stats, error) {
-				out, err := engine.Run[float64, float64](mode, app.PageRank{}, a, cc, model,
-					engine.Options{FixedIterations: 10, HighDegreeThreshold: thr})
+			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, opts engine.Options) (engine.Stats, error) {
+				opts.FixedIterations = 10
+				out, err := engine.Run[float64, float64](mode, app.PageRank{}, a, cc, model, opts)
 				if err != nil {
 					return engine.Stats{}, err
 				}
@@ -64,9 +64,9 @@ func paperApps() []appSpec {
 		},
 		{
 			name: "PageRank(C)", natural: true,
-			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, thr int) (engine.Stats, error) {
-				out, err := engine.Run[float64, float64](mode, app.PageRank{Tolerance: prConvTolerance}, a, cc, model,
-					engine.Options{MaxSupersteps: maxSupersteps, HighDegreeThreshold: thr})
+			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, opts engine.Options) (engine.Stats, error) {
+				opts.MaxSupersteps = maxSupersteps
+				out, err := engine.Run[float64, float64](mode, app.PageRank{Tolerance: prConvTolerance}, a, cc, model, opts)
 				if err != nil {
 					return engine.Stats{}, err
 				}
@@ -76,9 +76,9 @@ func paperApps() []appSpec {
 		},
 		{
 			name: "WCC", natural: false,
-			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, thr int) (engine.Stats, error) {
-				out, err := engine.Run[uint32, uint32](mode, app.WCC{}, a, cc, model,
-					engine.Options{MaxSupersteps: maxSupersteps, HighDegreeThreshold: thr})
+			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, opts engine.Options) (engine.Stats, error) {
+				opts.MaxSupersteps = maxSupersteps
+				out, err := engine.Run[uint32, uint32](mode, app.WCC{}, a, cc, model, opts)
 				if err != nil {
 					return engine.Stats{}, err
 				}
@@ -87,9 +87,9 @@ func paperApps() []appSpec {
 		},
 		{
 			name: "SSSP", natural: false, // undirected variant, as in §6.4.1
-			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, thr int) (engine.Stats, error) {
-				out, err := engine.Run[float64, float64](mode, app.SSSP{Source: ssspSource(a.G)}, a, cc, model,
-					engine.Options{MaxSupersteps: maxSupersteps, HighDegreeThreshold: thr})
+			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, opts engine.Options) (engine.Stats, error) {
+				opts.MaxSupersteps = maxSupersteps
+				out, err := engine.Run[float64, float64](mode, app.SSSP{Source: ssspSource(a.G)}, a, cc, model, opts)
 				if err != nil {
 					return engine.Stats{}, err
 				}
@@ -98,17 +98,17 @@ func paperApps() []appSpec {
 		},
 		{
 			name: "K-Core", natural: false,
-			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, thr int) (engine.Stats, error) {
-				_, stats, err := app.KCoreDecomposition(mode, kcoreMin, kcoreMax, a, cc, model,
-					engine.Options{MaxSupersteps: maxSupersteps, HighDegreeThreshold: thr})
+			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, opts engine.Options) (engine.Stats, error) {
+				opts.MaxSupersteps = maxSupersteps
+				_, stats, err := app.KCoreDecomposition(mode, kcoreMin, kcoreMax, a, cc, model, opts)
 				return stats, err
 			},
 		},
 		{
 			name: "Coloring", natural: false,
-			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, thr int) (engine.Stats, error) {
-				out, err := engine.Run[int32, app.ColorSet](mode, app.Coloring{}, a, cc, model,
-					engine.Options{MaxSupersteps: maxSupersteps, HighDegreeThreshold: thr})
+			run: func(mode engine.Mode, a *partition.Assignment, cc cluster.Config, model cluster.CostModel, opts engine.Options) (engine.Stats, error) {
+				opts.MaxSupersteps = maxSupersteps
+				out, err := engine.Run[int32, app.ColorSet](mode, app.Coloring{}, a, cc, model, opts)
 				if err != nil {
 					return engine.Stats{}, err
 				}

@@ -15,6 +15,8 @@ import (
 
 	"graphpart/internal/cluster"
 	"graphpart/internal/datasets"
+	"graphpart/internal/engine"
+	"graphpart/internal/engine/graphx"
 	"graphpart/internal/graph"
 	"graphpart/internal/partition"
 )
@@ -31,6 +33,11 @@ type Config struct {
 	HybridThreshold int
 	// Seed for all partitioners.
 	Seed uint64
+	// Workers bounds the engines' per-superstep worker goroutines (and
+	// the partitioners' ingress workers); ≤0 means GOMAXPROCS. Results
+	// are byte-identical for every value — parallelism only changes
+	// wall-clock, which is what makes -scale ≥2 runs tractable.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by tests and the default
@@ -51,6 +58,19 @@ func (c Config) scale() int {
 		return 1
 	}
 	return c.Scale
+}
+
+// engineOpts is the base engine.Options every experiment starts from; app
+// specs fill in their own iteration caps.
+func (c Config) engineOpts() engine.Options {
+	return engine.Options{HighDegreeThreshold: c.HybridThreshold, Workers: c.Workers}
+}
+
+// graphxConfig is the base graphx.Config every GraphX experiment starts
+// from; building it here (rather than at each call site) makes forgetting
+// Workers impossible.
+func (c Config) graphxConfig(cc cluster.Config, iterations int) graphx.Config {
+	return graphx.Config{Cluster: cc, Iterations: iterations, Workers: c.Workers}
 }
 
 // Table is a rendered experiment result.
@@ -105,9 +125,11 @@ func (t *Table) Render(w io.Writer) error {
 		return strings.TrimRight(sb.String(), " ")
 	}
 	fmt.Fprintln(w, line(t.Columns))
-	total := len(t.Columns) - 1
+	// Ruler width = column widths plus the two-space separators between
+	// them.
+	total := 2 * (len(t.Columns) - 1)
 	for _, wd := range widths {
-		total += wd + 1
+		total += wd
 	}
 	fmt.Fprintln(w, strings.Repeat("-", total))
 	for _, row := range t.Rows {
@@ -201,7 +223,7 @@ func assignment(cfg Config, dataset, strategy string, parts int) (*partition.Ass
 	if err != nil {
 		return nil, err
 	}
-	a, err := partition.ParallelPartition(g, s, parts, cfg.Seed, 0)
+	a, err := partition.ParallelPartition(g, s, parts, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

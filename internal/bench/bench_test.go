@@ -151,3 +151,48 @@ func TestPaperAppsComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestTableRenderRulerWidth: the dash ruler must be exactly as wide as the
+// table — column widths plus the two-space separators — not one character
+// longer (the old off-by-one double-counted a separator).
+func TestTableRenderRulerWidth(t *testing.T) {
+	cases := []*Table{
+		// Widths driven by the headers.
+		func() *Table {
+			tab := &Table{ID: "r.1", Title: "headers widest", Columns: []string{"aaa", "bb", "cccc"}}
+			tab.AddRow("1", "2", "3")
+			return tab
+		}(),
+		// Widths driven by a row: the rendered header line is then shorter
+		// than the full table width, but the ruler must still span it.
+		func() *Table {
+			tab := &Table{ID: "r.2", Title: "rows widest", Columns: []string{"a", "b"}}
+			tab.AddRow("333", "4444")
+			return tab
+		}(),
+	}
+	for _, tab := range cases {
+		var sb strings.Builder
+		if err := tab.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(sb.String(), "\n")
+		// lines[0] = "## id — title", lines[1] = header, lines[2] = ruler.
+		ruler := lines[2]
+		if strings.Trim(ruler, "-") != "" {
+			t.Fatalf("%s: line 2 is not the ruler: %q", tab.ID, ruler)
+		}
+		width := 0
+		for _, line := range lines[1:] {
+			if line == "" || strings.HasPrefix(line, "-") {
+				continue
+			}
+			if len(line) > width {
+				width = len(line)
+			}
+		}
+		if len(ruler) != width {
+			t.Errorf("%s: ruler width %d != table width %d:\n%s", tab.ID, len(ruler), width, sb.String())
+		}
+	}
+}

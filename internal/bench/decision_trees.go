@@ -12,7 +12,6 @@ import (
 	"graphpart/internal/cluster"
 	"graphpart/internal/decision"
 	"graphpart/internal/engine"
-	"graphpart/internal/engine/graphx"
 	"graphpart/internal/graph"
 	"graphpart/internal/partition"
 )
@@ -38,7 +37,7 @@ func totalJobSeconds(cfg Config, ds, strat, appName string, cc cluster.Config) (
 		if spec.name != appName {
 			continue
 		}
-		stats, err := spec.run(engine.ModePowerGraph, a, cc, model, cfg.HybridThreshold)
+		stats, err := spec.run(engine.ModePowerGraph, a, cc, model, cfg.engineOpts())
 		if err != nil {
 			return 0, err
 		}
@@ -140,7 +139,7 @@ func fig93() Experiment {
 					if err != nil {
 						return nil, err
 					}
-					st, err := runGraphXApp("PageRank", a, graphx.Config{Cluster: cc, Iterations: tc.iters}, model)
+					st, err := runGraphXApp("PageRank", a, cfg.graphxConfig(cc, tc.iters), model)
 					if err != nil {
 						return nil, err
 					}

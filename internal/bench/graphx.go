@@ -70,7 +70,7 @@ func fig71() Experiment {
 					if err != nil {
 						return nil, err
 					}
-					st, err := runGraphXApp("PageRank", a, graphx.Config{Cluster: cc, Iterations: 10}, model)
+					st, err := runGraphXApp("PageRank", a, cfg.graphxConfig(cc, 10), model)
 					if err != nil {
 						return nil, err
 					}
@@ -161,7 +161,7 @@ func tab71() Experiment {
 						if err != nil {
 							return nil, err
 						}
-						st, err := runGraphXApp(appName, a, graphx.Config{Cluster: cc, Iterations: 10}, model)
+						st, err := runGraphXApp(appName, a, cfg.graphxConfig(cc, 10), model)
 						if err != nil {
 							return nil, err
 						}

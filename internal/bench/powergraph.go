@@ -68,7 +68,7 @@ func pgCorrelationPointsUncached(cfg Config) ([]pgPoint, error) {
 		}
 		ing := cluster.Ingress(a, s, cc, model)
 		for _, spec := range paperApps() {
-			stats, err := spec.run(engine.ModePowerGraph, a, cc, model, cfg.HybridThreshold)
+			stats, err := spec.run(engine.ModePowerGraph, a, cc, model, cfg.engineOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -315,7 +315,7 @@ func tab51() Experiment {
 					if spec.name != "PageRank(C)" && spec.name != "K-Core" {
 						continue
 					}
-					stats, err := spec.run(engine.ModePowerGraph, a, cc, model, cfg.HybridThreshold)
+					stats, err := spec.run(engine.ModePowerGraph, a, cc, model, cfg.engineOpts())
 					if err != nil {
 						return nil, err
 					}

@@ -43,7 +43,7 @@ func plSweep(cfg Config, appName string) ([]plPoint, error) {
 			if spec.name != appName {
 				continue
 			}
-			stats, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+			stats, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.engineOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -195,7 +195,7 @@ func fig63() Experiment {
 				var stats engine.Stats
 				for _, spec := range paperApps() {
 					if spec.name == "PageRank(C)" {
-						stats, err = spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+						stats, err = spec.run(engine.ModePowerLyra, a, cc, model, cfg.engineOpts())
 						if err != nil {
 							return nil, err
 						}
@@ -326,7 +326,7 @@ func fig66() Experiment {
 					if spec.name != "PageRank(10)" && spec.name != "WCC" {
 						continue
 					}
-					stats, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.HybridThreshold)
+					stats, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.engineOpts())
 					if err != nil {
 						return nil, err
 					}

@@ -41,6 +41,12 @@ func (c Config) Validate() error {
 	if c.Machines < 1 {
 		return fmt.Errorf("cluster: need ≥1 machine, got %d", c.Machines)
 	}
+	// 0 means "default to 1" (NumParts clamps it), but a negative value is
+	// a configuration error: MachineOf would misbehave for callers that
+	// index partitions without going through NumParts's clamp.
+	if c.PartsPerMachine < 0 {
+		return fmt.Errorf("cluster: PartsPerMachine must be ≥0, got %d", c.PartsPerMachine)
+	}
 	return nil
 }
 

@@ -166,3 +166,18 @@ func TestDefaultModelSane(t *testing.T) {
 		t.Fatal("default memory constants non-positive")
 	}
 }
+
+// TestValidateRejectsNegativePartsPerMachine: 0 means "default to 1", but a
+// negative count must be rejected before MachineOf misbehaves for callers
+// that do not go through NumParts's clamp.
+func TestValidateRejectsNegativePartsPerMachine(t *testing.T) {
+	if err := (Config{Machines: 4, PartsPerMachine: -1}).Validate(); err == nil {
+		t.Error("Validate accepted PartsPerMachine = -1")
+	}
+	if err := (Config{Machines: 4, PartsPerMachine: 0}).Validate(); err != nil {
+		t.Errorf("Validate rejected PartsPerMachine = 0 (means default): %v", err)
+	}
+	if got := (Config{Machines: 4, PartsPerMachine: 0}).NumParts(); got != 4 {
+		t.Errorf("NumParts with ppm=0 = %d, want 4", got)
+	}
+}

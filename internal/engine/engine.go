@@ -120,6 +120,11 @@ type Options struct {
 	// HighDegreeThreshold is PowerLyra's high/low-degree cutoff; 0 means
 	// partition.DefaultHybridThreshold. Only used by ModePowerLyra.
 	HighDegreeThreshold int
+	// Workers bounds the goroutines executing each superstep phase. ≤0
+	// means GOMAXPROCS; 1 runs every shard inline on the calling
+	// goroutine. The shard decomposition is worker-count independent (see
+	// shard.go), so Stats and Values are byte-identical for every value.
+	Workers int
 }
 
 // Stats are the §4.3 metrics of one compute phase.
@@ -153,6 +158,13 @@ type Outcome[V any] struct {
 }
 
 // Run executes prog over the partitioned graph on the simulated cluster.
+//
+// Each superstep phase (gather+apply, value commit, scatter) executes on up
+// to opts.Workers goroutines over contiguous frontier shards. The shard
+// structure depends only on the frontier length and all floating-point
+// meters merge in shard order, so every Workers value — including the
+// sequential Workers=1 case, which is the same code path run inline —
+// produces byte-identical Stats and Values.
 func Run[V, A any](mode Mode, prog Program[V, A], a *partition.Assignment, cfg cluster.Config, model cluster.CostModel, opts Options) (*Outcome[V], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -171,13 +183,11 @@ func Run[V, A any](mode Mode, prog Program[V, A], a *partition.Assignment, cfg c
 
 	vals := make([]V, n)
 	newVals := make([]V, n)
-	active := make([]bool, n)
-	nextActive := make([]bool, n)
+	nextActive := NewBitset(n)
 	frontier := make([]graph.VertexID, 0, n)
 	for v := 0; v < n; v++ {
 		vals[v] = prog.Init(g, graph.VertexID(v))
 		if prog.InitiallyActive(g, graph.VertexID(v)) {
-			active[v] = true
 			frontier = append(frontier, graph.VertexID(v))
 		}
 	}
@@ -189,6 +199,9 @@ func Run[V, A any](mode Mode, prog Program[V, A], a *partition.Assignment, cfg c
 	work := make([]float64, a.NumParts)
 	inBytes := make([]float64, a.NumParts)
 	outBytes := make([]float64, a.NumParts)
+
+	sh := NewSharder(opts.Workers, a.NumParts, n)
+	changedList := make([]graph.VertexID, 0, n)
 
 	gatherDir := prog.GatherDir()
 	scatterDir := prog.ScatterDir()
@@ -203,7 +216,7 @@ func Run[V, A any](mode Mode, prog Program[V, A], a *partition.Assignment, cfg c
 	// in-gathering vertex with few in-edges is "low-degree" no matter how
 	// many out-edges it has (§6.1, §6.2.1).
 	gatherDegree := func(v graph.VertexID) int {
-		switch prog.GatherDir() {
+		switch gatherDir {
 		case DirIn:
 			return g.InDegree(v)
 		case DirOut:
@@ -226,13 +239,14 @@ func Run[V, A any](mode Mode, prog Program[V, A], a *partition.Assignment, cfg c
 			break
 		}
 		if opts.FixedIterations > 0 {
-			// All vertices are active every iteration.
+			// All vertices are active every iteration — including isolated
+			// ones (Master < 0): they carry no replicas and no network, but
+			// their value still evolves through Apply, exactly as in the
+			// convergence-mode isolated-vertex branch below (e.g.
+			// PageRank's (1−d) floor for degree-0 vertices).
 			frontier = frontier[:0]
 			for v := 0; v < n; v++ {
-				if a.Master(graph.VertexID(v)) >= 0 {
-					active[v] = true
-					frontier = append(frontier, graph.VertexID(v))
-				}
+				frontier = append(frontier, graph.VertexID(v))
 			}
 		}
 		if len(frontier) == 0 {
@@ -246,139 +260,153 @@ func Run[V, A any](mode Mode, prog Program[V, A], a *partition.Assignment, cfg c
 		var dynBytes float64
 
 		// ---- Gather + Apply ----
-		changedList := make([]graph.VertexID, 0, len(frontier))
-		for _, v := range frontier {
-			var acc A
-			hasAcc := false
-			if gatherDir == DirIn || gatherDir == DirBoth {
-				nbrs := g.InNeighbors(v)
-				eids := g.InEdgeIDs(v)
-				for i, u := range nbrs {
-					c := prog.Gather(g, u, v, vals[u], vals[v], v)
-					if hasAcc {
-						acc = prog.Sum(acc, c)
-					} else {
-						acc, hasAcc = c, true
+		// Embarrassingly parallel over the frontier: each shard reads vals
+		// and writes newVals only at its own vertices' indexes, metering
+		// into its private scratch. The merged change list is in frontier
+		// order, exactly as the sequential loop produced it.
+		nf := len(frontier)
+		var gatherEdges int64
+		changedList, gatherEdges, dynBytes = sh.Meter(nf, work, inBytes, outBytes, changedList[:0],
+			func(lo, hi int, ms *Meters, ch []graph.VertexID) []graph.VertexID {
+				for _, v := range frontier[lo:hi] {
+					var acc A
+					hasAcc := false
+					if gatherDir == DirIn || gatherDir == DirBoth {
+						nbrs := g.InNeighbors(v)
+						eids := g.InEdgeIDs(v)
+						for i, u := range nbrs {
+							c := prog.Gather(g, u, v, vals[u], vals[v], v)
+							if hasAcc {
+								acc = prog.Sum(acc, c)
+							} else {
+								acc, hasAcc = c, true
+							}
+							ms.Work[a.EdgeParts[eids[i]]] += model.GatherEdgeNs
+							ms.Edges++
+						}
 					}
-					work[a.EdgeParts[eids[i]]] += model.GatherEdgeNs
-					stats.EdgesProcessed++
-				}
-			}
-			if gatherDir == DirOut || gatherDir == DirBoth {
-				nbrs := g.OutNeighbors(v)
-				eids := g.OutEdgeIDs(v)
-				for i, u := range nbrs {
-					c := prog.Gather(g, v, u, vals[v], vals[u], v)
-					if hasAcc {
-						acc = prog.Sum(acc, c)
-					} else {
-						acc, hasAcc = c, true
+					if gatherDir == DirOut || gatherDir == DirBoth {
+						nbrs := g.OutNeighbors(v)
+						eids := g.OutEdgeIDs(v)
+						for i, u := range nbrs {
+							c := prog.Gather(g, v, u, vals[v], vals[u], v)
+							if hasAcc {
+								acc = prog.Sum(acc, c)
+							} else {
+								acc, hasAcc = c, true
+							}
+							ms.Work[a.EdgeParts[eids[i]]] += model.GatherEdgeNs
+							ms.Edges++
+						}
 					}
-					work[a.EdgeParts[eids[i]]] += model.GatherEdgeNs
-					stats.EdgesProcessed++
-				}
-			}
 
-			master := a.Master(v)
-			if master < 0 {
-				// Isolated vertex: no replicas, no network — but its value
-				// still evolves (e.g. PageRank's (1−d) floor, K-core
-				// removal of degree-0 vertices).
-				nv, changed := prog.Apply(g, v, vals[v], acc, hasAcc)
-				newVals[v] = nv
-				if changed {
-					changedList = append(changedList, v)
-				}
-				continue
-			}
+					master := a.Master(v)
+					if master < 0 {
+						// Isolated vertex: no replicas, no network — but its value
+						// still evolves (e.g. PageRank's (1−d) floor, K-core
+						// removal of degree-0 vertices).
+						nv, changed := prog.Apply(g, v, vals[v], acc, hasAcc)
+						newVals[v] = nv
+						if changed {
+							ch = append(ch, v)
+						}
+						continue
+					}
 
-			// Gather-stage network: partial accumulators flow from mirror
-			// partitions to the master.
-			gatherSrcs := gatherSourceParts(mode, a, v, gatherDir, isLowDegree(v))
-			for _, p := range gatherSrcs {
-				if p == master {
-					continue
-				}
-				if cfg.MachineOf(p) != cfg.MachineOf(master) {
-					outBytes[p] += accB
-					inBytes[master] += accB
-					dynBytes += accB
-				}
-			}
+					// Gather-stage network: partial accumulators flow from mirror
+					// partitions to the master.
+					low := isLowDegree(v)
+					forEachGatherSource(mode, a, v, gatherDir, low, func(p int) {
+						if p == master {
+							return
+						}
+						if cfg.MachineOf(p) != cfg.MachineOf(master) {
+							ms.Out[p] += accB
+							ms.In[master] += accB
+							ms.Dyn += accB
+						}
+					})
 
-			// Apply at the master.
-			nv, changed := prog.Apply(g, v, vals[v], acc, hasAcc)
-			newVals[v] = nv
-			work[master] += model.ApplyVertexNs
-			if changed {
-				changedList = append(changedList, v)
-			}
+					// Apply at the master.
+					nv, changed := prog.Apply(g, v, vals[v], acc, hasAcc)
+					newVals[v] = nv
+					ms.Work[master] += model.ApplyVertexNs
+					if changed {
+						ch = append(ch, v)
+					}
 
-			// Apply-stage network: the master pushes the updated value to
-			// mirrors. PowerGraph syncs all mirrors of an active vertex
-			// every superstep. PowerLyra processes low-degree vertices
-			// GraphLab/Pregel-style (§6.1): their value travels as a
-			// message, only when it changed, and only to partitions that
-			// need it for scatter — the hybrid engine's synchronization
-			// saving for natural applications.
-			if mode == ModePowerLyra && isLowDegree(v) && !changed {
-				continue
-			}
-			syncParts := syncTargetParts(mode, a, v, scatterDir, isLowDegree(v))
-			for _, p := range syncParts {
-				if p == master {
-					continue
+					// Apply-stage network: the master pushes the updated value to
+					// mirrors. PowerGraph syncs all mirrors of an active vertex
+					// every superstep. PowerLyra processes low-degree vertices
+					// GraphLab/Pregel-style (§6.1): their value travels as a
+					// message, only when it changed, and only to partitions that
+					// need it for scatter — the hybrid engine's synchronization
+					// saving for natural applications.
+					if mode == ModePowerLyra && low && !changed {
+						continue
+					}
+					forEachSyncTarget(mode, a, v, scatterDir, low, func(p int) {
+						if p == master {
+							return
+						}
+						ms.Work[p] += model.ApplyVertexNs // mirror applies the update
+						if cfg.MachineOf(p) != cfg.MachineOf(master) {
+							ms.Out[master] += valB
+							ms.In[p] += valB
+							ms.Dyn += valB
+						}
+					})
 				}
-				work[p] += model.ApplyVertexNs // mirror applies the update
-				if cfg.MachineOf(p) != cfg.MachineOf(master) {
-					outBytes[master] += valB
-					inBytes[p] += valB
-					dynBytes += valB
-				}
-			}
-		}
+				return ch
+			})
+		stats.EdgesProcessed += gatherEdges
 
-		// Commit applied values.
-		for _, v := range frontier {
-			vals[v] = newVals[v]
-		}
+		// Commit applied values (disjoint indexes; no meters).
+		sh.Do(nf, func(lo, hi int) {
+			for _, v := range frontier[lo:hi] {
+				vals[v] = newVals[v]
+			}
+		})
 
 		// ---- Scatter: changed vertices activate neighbors ----
-		for i := range nextActive {
-			nextActive[i] = false
-		}
-		for _, v := range changedList {
-			if scatterDir == DirOut || scatterDir == DirBoth {
-				nbrs := g.OutNeighbors(v)
-				eids := g.OutEdgeIDs(v)
-				for i, u := range nbrs {
-					p := int(a.EdgeParts[eids[i]])
-					work[p] += model.ScatterEdgeNs
-					stats.EdgesProcessed++
-					um := a.Master(u)
-					if um >= 0 && cfg.MachineOf(p) != cfg.MachineOf(um) {
-						outBytes[p] += sigB
-						inBytes[um] += sigB
+		// Meters stay per-shard; activation bits go to per-worker bitmaps
+		// merged by OR (commutative and idempotent, so the merged frontier
+		// is independent of shard→worker scheduling).
+		stats.EdgesProcessed += sh.Scatter(len(changedList), work, inBytes, outBytes, nextActive,
+			func(lo, hi int, ms *Meters, nb Bitset) {
+				for _, v := range changedList[lo:hi] {
+					if scatterDir == DirOut || scatterDir == DirBoth {
+						nbrs := g.OutNeighbors(v)
+						eids := g.OutEdgeIDs(v)
+						for i, u := range nbrs {
+							p := int(a.EdgeParts[eids[i]])
+							ms.Work[p] += model.ScatterEdgeNs
+							ms.Edges++
+							um := a.Master(u)
+							if um >= 0 && cfg.MachineOf(p) != cfg.MachineOf(um) {
+								ms.Out[p] += sigB
+								ms.In[um] += sigB
+							}
+							nb.Set(int(u))
+						}
 					}
-					nextActive[u] = true
-				}
-			}
-			if scatterDir == DirIn || scatterDir == DirBoth {
-				nbrs := g.InNeighbors(v)
-				eids := g.InEdgeIDs(v)
-				for i, u := range nbrs {
-					p := int(a.EdgeParts[eids[i]])
-					work[p] += model.ScatterEdgeNs
-					stats.EdgesProcessed++
-					um := a.Master(u)
-					if um >= 0 && cfg.MachineOf(p) != cfg.MachineOf(um) {
-						outBytes[p] += sigB
-						inBytes[um] += sigB
+					if scatterDir == DirIn || scatterDir == DirBoth {
+						nbrs := g.InNeighbors(v)
+						eids := g.InEdgeIDs(v)
+						for i, u := range nbrs {
+							p := int(a.EdgeParts[eids[i]])
+							ms.Work[p] += model.ScatterEdgeNs
+							ms.Edges++
+							um := a.Master(u)
+							if um >= 0 && cfg.MachineOf(p) != cfg.MachineOf(um) {
+								ms.Out[p] += sigB
+								ms.In[um] += sigB
+							}
+							nb.Set(int(u))
+						}
 					}
-					nextActive[u] = true
 				}
-			}
-		}
+			})
 
 		before := run.SimSeconds
 		run.StepPartitioned(work, inBytes, outBytes)
@@ -390,31 +418,35 @@ func Run[V, A any](mode Mode, prog Program[V, A], a *partition.Assignment, cfg c
 		// Programs with Pregel-style voting (Reactivator) keep vertices
 		// active until the round produces no changes: bulk-iterative
 		// applications like K-core re-examine the whole remaining
-		// subgraph each round (§3.3.3).
+		// subgraph each round (§3.3.3). Shard boundaries fall on bitset
+		// words, so concurrent Set calls never touch the same word.
 		if reactivator != nil {
 			if len(changedList) == 0 {
 				stats.Supersteps++
 				stats.Converged = true
 				break
 			}
-			for v := 0; v < n; v++ {
-				if !nextActive[v] && reactivator.StayActive(g, graph.VertexID(v), vals[v]) {
-					nextActive[v] = true
+			words := len(nextActive)
+			ws := NumShards(words)
+			ForEachShard(sh.Workers, ws, func(s, _ int) {
+				wlo, whi := ShardRange(words, ws, s)
+				vhi := whi * 64
+				if vhi > n {
+					vhi = n
 				}
-			}
+				for v := wlo * 64; v < vhi; v++ {
+					if !nextActive.Get(v) && reactivator.StayActive(g, graph.VertexID(v), vals[v]) {
+						nextActive.Set(v)
+					}
+				}
+			})
 		}
 
 		// Next frontier.
-		for i := range active {
-			active[i] = false
-		}
 		frontier = frontier[:0]
-		for v := 0; v < n; v++ {
-			if nextActive[v] {
-				active[v] = true
-				frontier = append(frontier, graph.VertexID(v))
-			}
-		}
+		nextActive.ForEach(func(i int) {
+			frontier = append(frontier, graph.VertexID(i))
+		})
 		stats.Supersteps++
 	}
 
@@ -428,68 +460,61 @@ func Run[V, A any](mode Mode, prog Program[V, A], a *partition.Assignment, cfg c
 	return &Outcome[V]{Values: vals, Stats: stats}, nil
 }
 
-// gatherSourceParts returns the partitions that send a partial accumulator
-// for v during gather.
-func gatherSourceParts(mode Mode, a *partition.Assignment, v graph.VertexID, gatherDir Direction, lowDegree bool) []int {
-	var parts []int
-	switch {
-	case mode == ModePowerGraph || !lowDegree:
+// forEachGatherSource calls fn for each partition that sends a partial
+// accumulator for v during gather, in ascending partition order.
+func forEachGatherSource(mode Mode, a *partition.Assignment, v graph.VertexID, gatherDir Direction, lowDegree bool, fn func(p int)) {
+	if mode == ModePowerGraph || !lowDegree {
 		// Every mirror participates in the distributed gather.
-		a.ForEachReplica(v, func(p int) { parts = append(parts, p) })
-	default:
-		// PowerLyra low-degree: only partitions actually holding
-		// gather-direction edges contribute.
-		add := func(p int) { parts = append(parts, p) }
-		switch gatherDir {
-		case DirIn:
-			a.ForEachReplica(v, func(p int) {
-				if a.HasInEdges(v, p) {
-					add(p)
-				}
-			})
-		case DirOut:
-			a.ForEachReplica(v, func(p int) {
-				if a.HasOutEdges(v, p) {
-					add(p)
-				}
-			})
-		case DirBoth:
-			a.ForEachReplica(v, func(p int) {
-				if a.HasInEdges(v, p) || a.HasOutEdges(v, p) {
-					add(p)
-				}
-			})
-		}
+		a.ForEachReplica(v, fn)
+		return
 	}
-	return parts
+	// PowerLyra low-degree: only partitions actually holding
+	// gather-direction edges contribute.
+	switch gatherDir {
+	case DirIn:
+		a.ForEachReplica(v, func(p int) {
+			if a.HasInEdges(v, p) {
+				fn(p)
+			}
+		})
+	case DirOut:
+		a.ForEachReplica(v, func(p int) {
+			if a.HasOutEdges(v, p) {
+				fn(p)
+			}
+		})
+	case DirBoth:
+		a.ForEachReplica(v, func(p int) {
+			if a.HasInEdges(v, p) || a.HasOutEdges(v, p) {
+				fn(p)
+			}
+		})
+	}
 }
 
-// syncTargetParts returns the partitions the master pushes v's new value to
-// after apply.
-func syncTargetParts(mode Mode, a *partition.Assignment, v graph.VertexID, scatterDir Direction, lowDegree bool) []int {
-	var parts []int
-	switch {
-	case mode == ModePowerGraph || !lowDegree:
-		a.ForEachReplica(v, func(p int) { parts = append(parts, p) })
-	default:
-		switch scatterDir {
-		case DirOut:
-			a.ForEachReplica(v, func(p int) {
-				if a.HasOutEdges(v, p) {
-					parts = append(parts, p)
-				}
-			})
-		case DirIn:
-			a.ForEachReplica(v, func(p int) {
-				if a.HasInEdges(v, p) {
-					parts = append(parts, p)
-				}
-			})
-		default:
-			a.ForEachReplica(v, func(p int) { parts = append(parts, p) })
-		}
+// forEachSyncTarget calls fn for each partition the master pushes v's new
+// value to after apply, in ascending partition order.
+func forEachSyncTarget(mode Mode, a *partition.Assignment, v graph.VertexID, scatterDir Direction, lowDegree bool, fn func(p int)) {
+	if mode == ModePowerGraph || !lowDegree {
+		a.ForEachReplica(v, fn)
+		return
 	}
-	return parts
+	switch scatterDir {
+	case DirOut:
+		a.ForEachReplica(v, func(p int) {
+			if a.HasOutEdges(v, p) {
+				fn(p)
+			}
+		})
+	case DirIn:
+		a.ForEachReplica(v, func(p int) {
+			if a.HasInEdges(v, p) {
+				fn(p)
+			}
+		})
+	default:
+		a.ForEachReplica(v, fn)
+	}
 }
 
 // staticMemPerMachine computes each machine's steady compute-phase memory.

@@ -25,6 +25,11 @@ type Config struct {
 	// Iterations caps the Pregel loop, as the paper's GraphX experiments
 	// do (10 in ch. 7, 25 in ch. 9). 0 means run to convergence.
 	Iterations int
+	// Workers bounds the goroutines executing each iteration phase; ≤0
+	// means GOMAXPROCS. As in engine.Run, the shard structure is
+	// worker-count independent, so Stats and Values are byte-identical
+	// for every value.
+	Workers int
 }
 
 // Stats describes a GraphX run. GraphX separates the partitioning phase
@@ -128,10 +133,14 @@ func Run[V, A any](prog engine.Program[V, A], a *partition.Assignment, cfg Confi
 	stats.PartitionSeconds = partitionPhaseSeconds(a, cfg.Cluster, model)
 
 	// ---- Pregel loop ----
+	// Iteration phases run on sharded workers exactly as in engine.Run:
+	// contiguous shards of the active/changed lists, per-shard meters
+	// merged in shard order, per-worker activation bitmaps merged by OR —
+	// byte-identical results for every worker count.
 	vals := make([]V, n)
 	newVals := make([]V, n)
 	active := make([]graph.VertexID, 0, n)
-	nextActive := make([]bool, n)
+	nextActive := engine.NewBitset(n)
 	for v := 0; v < n; v++ {
 		vals[v] = prog.Init(g, graph.VertexID(v))
 		if prog.InitiallyActive(g, graph.VertexID(v)) {
@@ -149,6 +158,9 @@ func Run[V, A any](prog engine.Program[V, A], a *partition.Assignment, cfg Confi
 	inBytes := make([]float64, a.NumParts)
 	outBytes := make([]float64, a.NumParts)
 
+	sh := engine.NewSharder(cfg.Workers, a.NumParts, n)
+	changed := make([]graph.VertexID, 0, n)
+
 	cum := stats.PartitionSeconds
 	for iter := 0; cfg.Iterations == 0 || iter < cfg.Iterations; iter++ {
 		if len(active) == 0 {
@@ -163,98 +175,105 @@ func Run[V, A any](prog engine.Program[V, A], a *partition.Assignment, cfg Confi
 			inBytes[p], outBytes[p] = 0, 0
 		}
 
-		changed := make([]graph.VertexID, 0, len(active))
-		for _, v := range active {
-			var acc A
-			hasAcc := false
-			gather := func(src, dst graph.VertexID, eid int32) {
-				c := prog.Gather(g, src, dst, vals[src], vals[dst], v)
-				if hasAcc {
-					acc = prog.Sum(acc, c)
-				} else {
-					acc, hasAcc = c, true
+		na := len(active)
+		changed, _, _ = sh.Meter(na, work, inBytes, outBytes, changed[:0],
+			func(lo, hi int, ms *engine.Meters, ch []graph.VertexID) []graph.VertexID {
+				for _, v := range active[lo:hi] {
+					var acc A
+					hasAcc := false
+					gather := func(src, dst graph.VertexID, eid int32) {
+						c := prog.Gather(g, src, dst, vals[src], vals[dst], v)
+						if hasAcc {
+							acc = prog.Sum(acc, c)
+						} else {
+							acc, hasAcc = c, true
+						}
+						ms.Work[a.EdgeParts[eid]] += model.RDDEdgeNs
+					}
+					if gatherDir == engine.DirIn || gatherDir == engine.DirBoth {
+						nbrs := g.InNeighbors(v)
+						eids := g.InEdgeIDs(v)
+						for i := range nbrs {
+							gather(nbrs[i], v, eids[i])
+						}
+					}
+					if gatherDir == engine.DirOut || gatherDir == engine.DirBoth {
+						nbrs := g.OutNeighbors(v)
+						eids := g.OutEdgeIDs(v)
+						for i := range nbrs {
+							gather(v, nbrs[i], eids[i])
+						}
+					}
+					master := a.Master(v)
+					if master < 0 {
+						// Isolated vertex: evolves locally, no shuffle traffic.
+						nv, ch2 := prog.Apply(g, v, vals[v], acc, hasAcc)
+						newVals[v] = nv
+						if ch2 {
+							ch = append(ch, v)
+						}
+						continue
+					}
+					// aggregateMessages shuffle: each edge partition holding
+					// gather-direction edges of v sends one combined message to
+					// v's vertex partition (master).
+					a.ForEachReplica(v, func(p int) {
+						if p == master {
+							return
+						}
+						holds := (gatherDir == engine.DirIn || gatherDir == engine.DirBoth) && a.HasInEdges(v, p) ||
+							(gatherDir == engine.DirOut || gatherDir == engine.DirBoth) && a.HasOutEdges(v, p)
+						if holds && cfg.Cluster.MachineOf(p) != cfg.Cluster.MachineOf(master) {
+							ms.Out[p] += accB
+							ms.In[master] += accB
+						}
+					})
+
+					nv, ch2 := prog.Apply(g, v, vals[v], acc, hasAcc)
+					newVals[v] = nv
+					ms.Work[master] += model.ApplyVertexNs
+					if ch2 {
+						ch = append(ch, v)
+					}
 				}
-				work[a.EdgeParts[eid]] += model.RDDEdgeNs
-			}
-			if gatherDir == engine.DirIn || gatherDir == engine.DirBoth {
-				nbrs := g.InNeighbors(v)
-				eids := g.InEdgeIDs(v)
-				for i := range nbrs {
-					gather(nbrs[i], v, eids[i])
-				}
-			}
-			if gatherDir == engine.DirOut || gatherDir == engine.DirBoth {
-				nbrs := g.OutNeighbors(v)
-				eids := g.OutEdgeIDs(v)
-				for i := range nbrs {
-					gather(v, nbrs[i], eids[i])
-				}
-			}
-			master := a.Master(v)
-			if master < 0 {
-				// Isolated vertex: evolves locally, no shuffle traffic.
-				nv, ch := prog.Apply(g, v, vals[v], acc, hasAcc)
-				newVals[v] = nv
-				if ch {
-					changed = append(changed, v)
-				}
-				continue
-			}
-			// aggregateMessages shuffle: each edge partition holding
-			// gather-direction edges of v sends one combined message to
-			// v's vertex partition (master).
-			a.ForEachReplica(v, func(p int) {
-				if p == master {
-					return
-				}
-				holds := (gatherDir == engine.DirIn || gatherDir == engine.DirBoth) && a.HasInEdges(v, p) ||
-					(gatherDir == engine.DirOut || gatherDir == engine.DirBoth) && a.HasOutEdges(v, p)
-				if holds && cfg.Cluster.MachineOf(p) != cfg.Cluster.MachineOf(master) {
-					outBytes[p] += accB
-					inBytes[master] += accB
-				}
+				return ch
 			})
 
-			nv, ch := prog.Apply(g, v, vals[v], acc, hasAcc)
-			newVals[v] = nv
-			work[master] += model.ApplyVertexNs
-			if ch {
-				changed = append(changed, v)
+		sh.Do(na, func(lo, hi int) {
+			for _, v := range active[lo:hi] {
+				vals[v] = newVals[v]
 			}
-		}
-		for _, v := range active {
-			vals[v] = newVals[v]
-		}
+		})
 
 		// Vertex-value shipping: changed vertices broadcast their new
 		// value to every edge partition holding their edges (GraphX's
 		// routing tables) — the replication-factor-proportional cost.
-		for i := range nextActive {
-			nextActive[i] = false
-		}
-		for _, v := range changed {
-			master := a.Master(v)
-			a.ForEachReplica(v, func(p int) {
-				if p == master {
-					return
-				}
-				work[p] += model.ApplyVertexNs
-				if cfg.Cluster.MachineOf(p) != cfg.Cluster.MachineOf(master) {
-					outBytes[master] += valB
-					inBytes[p] += valB
+		sh.Scatter(len(changed), work, inBytes, outBytes, nextActive,
+			func(lo, hi int, ms *engine.Meters, nb engine.Bitset) {
+				for _, v := range changed[lo:hi] {
+					master := a.Master(v)
+					a.ForEachReplica(v, func(p int) {
+						if p == master {
+							return
+						}
+						ms.Work[p] += model.ApplyVertexNs
+						if cfg.Cluster.MachineOf(p) != cfg.Cluster.MachineOf(master) {
+							ms.Out[master] += valB
+							ms.In[p] += valB
+						}
+					})
+					if scatterDir == engine.DirOut || scatterDir == engine.DirBoth {
+						for _, u := range g.OutNeighbors(v) {
+							nb.Set(int(u))
+						}
+					}
+					if scatterDir == engine.DirIn || scatterDir == engine.DirBoth {
+						for _, u := range g.InNeighbors(v) {
+							nb.Set(int(u))
+						}
+					}
 				}
 			})
-			if scatterDir == engine.DirOut || scatterDir == engine.DirBoth {
-				for _, u := range g.OutNeighbors(v) {
-					nextActive[u] = true
-				}
-			}
-			if scatterDir == engine.DirIn || scatterDir == engine.DirBoth {
-				for _, u := range g.InNeighbors(v) {
-					nextActive[u] = true
-				}
-			}
-		}
 
 		// GC overhead inflates CPU work.
 		if gcMult != 1 {
@@ -271,11 +290,9 @@ func Run[V, A any](prog engine.Program[V, A], a *partition.Assignment, cfg Confi
 		stats.Iterations++
 
 		active = active[:0]
-		for v := 0; v < n; v++ {
-			if nextActive[v] {
-				active = append(active, graph.VertexID(v))
-			}
-		}
+		nextActive.ForEach(func(i int) {
+			active = append(active, graph.VertexID(i))
+		})
 	}
 	if cfg.Iterations > 0 && len(active) == 0 {
 		stats.Converged = true

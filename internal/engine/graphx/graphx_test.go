@@ -2,6 +2,7 @@ package graphx_test
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"graphpart/internal/app"
@@ -184,5 +185,53 @@ func TestGraphXGreedyPartitioningSlower(t *testing.T) {
 	if stH.Stats.PartitionSeconds <= stCR.Stats.PartitionSeconds {
 		t.Errorf("HDRF partitioning %.4f ≤ CanonicalRandom %.4f",
 			stH.Stats.PartitionSeconds, stCR.Stats.PartitionSeconds)
+	}
+}
+
+// TestGraphXParallelDeterminism: the GraphX engine's sharded execution must
+// be byte-identical to the sequential run for every worker count, exactly
+// like the GAS engine's (see engine/determinism_test.go).
+func TestGraphXParallelDeterminism(t *testing.T) {
+	g := gen.PrefAttach("gx-det", 2200, 5, 0x9)
+	cc := cluster.GraphXLocal9
+	for _, strat := range []string{"CanonicalRandom", "2D", "HDRF"} {
+		a := gxAssignment(t, g, strat, cc)
+		for _, appName := range []string{"PageRank", "WCC", "SSSP"} {
+			t.Run(strat+"/"+appName, func(t *testing.T) {
+				run := func(workers int) (any, graphx.Stats) {
+					gcfg := graphx.Config{Cluster: cc, Iterations: 15, Workers: workers}
+					switch appName {
+					case "PageRank":
+						out, err := graphx.Run[float64, float64](app.PageRank{}, a, gcfg, model)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return out.Values, out.Stats
+					case "WCC":
+						out, err := graphx.Run[uint32, uint32](app.WCC{}, a, gcfg, model)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return out.Values, out.Stats
+					default:
+						out, err := graphx.Run[float64, float64](app.SSSP{Source: 0}, a, gcfg, model)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return out.Values, out.Stats
+					}
+				}
+				seqVals, seqStats := run(1)
+				for _, w := range []int{2, 4, 7} {
+					parVals, parStats := run(w)
+					if !reflect.DeepEqual(seqVals, parVals) {
+						t.Errorf("Workers=%d Values differ from Workers=1", w)
+					}
+					if !reflect.DeepEqual(seqStats, parStats) {
+						t.Errorf("Workers=%d Stats differ from Workers=1:\nseq: %+v\npar: %+v", w, seqStats, parStats)
+					}
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,279 @@
+package engine
+
+// Deterministic work-sharding shared by the GAS executor (Run) and the
+// GraphX engine (internal/engine/graphx).
+//
+// The central invariant: the decomposition of a phase's work list into
+// contiguous shards depends only on the *length of the list*, never on the
+// number of workers, and every floating-point meter is accumulated into a
+// per-shard scratch slot and merged in shard order. Workers only change
+// which goroutine evaluates a shard — so Stats and Values are byte-identical
+// for every Workers value, for any cost model, which is the reproducibility
+// contract the simulation's "metrics are deterministic functions of
+// partitioning quality" claim rests on.
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"graphpart/internal/graph"
+)
+
+const (
+	// minShardItems is the smallest work-list slice worth a shard of its
+	// own: below it, merge overhead dominates and the phase runs inline.
+	// Small frontiers (the long convergence tail of SSSP on road networks)
+	// therefore stay on the calling goroutine automatically.
+	minShardItems = 256
+	// maxShards caps per-shard scratch memory and merge cost.
+	maxShards = 64
+)
+
+// ResolveWorkers maps an Options.Workers value to a concrete worker count:
+// ≤0 means GOMAXPROCS.
+func ResolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// NumShards returns the number of contiguous shards an n-item work list is
+// split into. It is a function of n only — never of the worker count.
+func NumShards(n int) int {
+	s := n / minShardItems
+	if s < 1 {
+		return 1
+	}
+	if s > maxShards {
+		return maxShards
+	}
+	return s
+}
+
+// ShardRange returns shard s's half-open item range [lo, hi) of an n-item
+// list split into shards contiguous pieces.
+func ShardRange(n, shards, s int) (lo, hi int) {
+	return n * s / shards, n * (s + 1) / shards
+}
+
+// ForEachShard evaluates fn(shard, worker) for every shard in [0, shards)
+// using up to workers goroutines. Workers pull shards from a shared counter
+// (so a skewed shard cannot serialize the phase behind a static block
+// assignment); worker ids are dense in [0, min(workers, shards)). With one
+// worker or one shard everything runs inline on the calling goroutine as
+// worker 0 — the sequential path is the same code path, not a special case.
+func ForEachShard(workers, shards int, fn func(shard, worker int)) {
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s, 0)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Meters is one shard's private accounting scratch: per-partition CPU work
+// and traffic, plus the scalar counters a superstep accumulates. Workers
+// write only their own shard's Meters; the merge (in shard order) happens on
+// the coordinating goroutine.
+type Meters struct {
+	Work, In, Out []float64 // indexed by partition
+	Edges         int64     // gather+scatter edge visits
+	Dyn           float64   // dynamic message bytes (peak-memory accounting)
+}
+
+// NewMeters returns zeroed meters for numParts partitions.
+func NewMeters(numParts int) Meters {
+	return Meters{
+		Work: make([]float64, numParts),
+		In:   make([]float64, numParts),
+		Out:  make([]float64, numParts),
+	}
+}
+
+// Reset zeroes the meters for reuse.
+func (m *Meters) Reset() {
+	for i := range m.Work {
+		m.Work[i], m.In[i], m.Out[i] = 0, 0, 0
+	}
+	m.Edges = 0
+	m.Dyn = 0
+}
+
+// MergeInto adds this shard's per-partition meters into the global arrays.
+func (m *Meters) MergeInto(work, in, out []float64) {
+	for p := range work {
+		work[p] += m.Work[p]
+		in[p] += m.In[p]
+		out[p] += m.Out[p]
+	}
+}
+
+// Bitset is a fixed-size bit set over a dense vertex-id space. Scatter
+// workers each own one, so activation writes need no synchronization; the
+// per-worker sets merge by OR, which is commutative and idempotent — the
+// merged frontier is identical no matter which worker set which bit.
+type Bitset []uint64
+
+// NewBitset returns a zeroed bitset holding n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Clear zeroes the whole set.
+func (b Bitset) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// MergeClear ORs src into b and zeroes src, in one pass.
+func (b Bitset) MergeClear(src Bitset) {
+	for i, w := range src {
+		if w != 0 {
+			b[i] |= w
+			src[i] = 0
+		}
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Sharder owns the sharded-phase scratch of one engine run and provides the
+// three phase shapes both engines execute supersteps with. Centralizing the
+// orchestration here — worker clamp, per-shard meter pools, shard-order
+// merges, per-worker bitmap lazy-init and OR-merge — keeps the GAS and
+// GraphX engines in lockstep on the invariants the byte-identical-
+// determinism contract depends on.
+type Sharder struct {
+	// Workers is the resolved goroutine bound, clamped to the maximum
+	// shard count so idle workers are never spawned.
+	Workers int
+
+	shards  []Meters
+	changed [][]graph.VertexID
+	next    []Bitset // per-worker activation bitmaps, allocated on first use
+	n       int      // vertices, for bitmap sizing
+}
+
+// NewSharder sizes the scratch for a run over n vertices and numParts
+// partitions. No phase can use more shards than NumShards(n) (work lists
+// are at most n items), so both pools are bounded up front.
+func NewSharder(workers, numParts, n int) *Sharder {
+	w := ResolveWorkers(workers)
+	if maxSh := NumShards(n); w > maxSh {
+		w = maxSh
+	}
+	sh := &Sharder{Workers: w, n: n}
+	sh.shards = make([]Meters, NumShards(n))
+	for i := range sh.shards {
+		sh.shards[i] = NewMeters(numParts)
+	}
+	sh.changed = make([][]graph.VertexID, len(sh.shards))
+	sh.next = make([]Bitset, w)
+	return sh
+}
+
+// Do runs body over contiguous shards of an nItems-long work list. For
+// phases with no meters (e.g. committing newVals), where shards only write
+// disjoint indexes.
+func (sh *Sharder) Do(nItems int, body func(lo, hi int)) {
+	ns := NumShards(nItems)
+	ForEachShard(sh.Workers, ns, func(s, _ int) {
+		lo, hi := ShardRange(nItems, ns, s)
+		body(lo, hi)
+	})
+}
+
+// Meter runs body over contiguous shards of an nItems-long work list, each
+// shard with zeroed private Meters and a reusable change-list buffer (body
+// returns the buffer it appended to). Meters merge into work/in/out in
+// shard order and the per-shard change lists concatenate onto dst — also in
+// shard order, so for a contiguous decomposition the result is in work-list
+// order, exactly as a sequential loop would produce it. Returns the
+// appended dst plus the summed Edges and Dyn counters.
+func (sh *Sharder) Meter(nItems int, work, in, out []float64, dst []graph.VertexID,
+	body func(lo, hi int, ms *Meters, ch []graph.VertexID) []graph.VertexID) ([]graph.VertexID, int64, float64) {
+	ns := NumShards(nItems)
+	ForEachShard(sh.Workers, ns, func(s, _ int) {
+		ms := &sh.shards[s]
+		ms.Reset()
+		lo, hi := ShardRange(nItems, ns, s)
+		sh.changed[s] = body(lo, hi, ms, sh.changed[s][:0])
+	})
+	var edges int64
+	var dyn float64
+	for s := 0; s < ns; s++ {
+		sh.shards[s].MergeInto(work, in, out)
+		edges += sh.shards[s].Edges
+		dyn += sh.shards[s].Dyn
+		dst = append(dst, sh.changed[s]...)
+	}
+	return dst, edges, dyn
+}
+
+// Scatter runs body over contiguous shards of an nItems-long change list,
+// each shard with zeroed private Meters and its worker's activation bitmap.
+// frontier is cleared, then the per-worker bitmaps OR-merge into it (and
+// are cleared for the next superstep). Meters merge in shard order; returns
+// the summed Edges counter.
+func (sh *Sharder) Scatter(nItems int, work, in, out []float64, frontier Bitset,
+	body func(lo, hi int, ms *Meters, nb Bitset)) int64 {
+	frontier.Clear()
+	ns := NumShards(nItems)
+	ForEachShard(sh.Workers, ns, func(s, w int) {
+		ms := &sh.shards[s]
+		ms.Reset()
+		nb := sh.next[w]
+		if nb == nil {
+			nb = NewBitset(sh.n)
+			sh.next[w] = nb
+		}
+		lo, hi := ShardRange(nItems, ns, s)
+		body(lo, hi, ms, nb)
+	})
+	var edges int64
+	for s := 0; s < ns; s++ {
+		sh.shards[s].MergeInto(work, in, out)
+		edges += sh.shards[s].Edges
+	}
+	for _, nb := range sh.next {
+		if nb != nil {
+			frontier.MergeClear(nb)
+		}
+	}
+	return edges
+}
