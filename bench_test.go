@@ -10,14 +10,13 @@
 package main
 
 import (
-	"strings"
 	"testing"
 
 	"graphpart/internal/bench"
 )
 
 // runExperiment executes a registered experiment once per benchmark
-// iteration and reports how many of its verdict notes reproduced.
+// iteration and reports how many of its structured checks reproduced.
 func runExperiment(b *testing.B, id string) {
 	e, ok := bench.Get(id)
 	if !ok {
@@ -26,16 +25,15 @@ func runExperiment(b *testing.B, id string) {
 	cfg := bench.DefaultConfig()
 	var good, bad int
 	for i := 0; i < b.N; i++ {
-		t, err := e.Run(cfg)
+		r, err := e.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		good, bad = 0, 0
-		for _, n := range t.Notes {
-			if strings.Contains(n, "✓") {
+		for _, c := range r.Checks {
+			if c.Pass {
 				good++
-			}
-			if strings.Contains(n, "✗") {
+			} else {
 				bad++
 			}
 		}

@@ -1,5 +1,6 @@
 // Command benchrunner regenerates the paper's tables and figures on the
-// simulated cluster.
+// simulated cluster and emits them as plain text, markdown, CSV, or a
+// machine-readable JSON report with cross-run regression diffing.
 //
 // Usage:
 //
@@ -7,9 +8,12 @@
 //	benchrunner -run fig5.3,tab5.1
 //	benchrunner -all [-scale 2] [-seed 7] [-workers 4]
 //	benchrunner -all -markdown > EXPERIMENTS-run.md
+//	benchrunner -all -json bench.json [-filter dataset=road,strategy=HDRF]
+//	benchrunner -all -json bench.json -compare BENCH_seed1.json
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
@@ -18,7 +22,21 @@ import (
 	"time"
 
 	"graphpart/internal/bench"
+	"graphpart/internal/report"
 )
+
+// options collects the output/compare switches of one invocation.
+type options struct {
+	markdown  bool
+	jsonOut   string
+	csvOut    string
+	compare   string
+	tolerance float64
+	filter    report.Filter
+	// subset holds the -run experiment IDs; nil means -all. -compare
+	// scopes the baseline to it so a partial run only gates what it ran.
+	subset []string
+}
 
 func main() {
 	var (
@@ -27,8 +45,13 @@ func main() {
 		all      = flag.Bool("all", false, "run every experiment")
 		scale    = flag.Int("scale", 1, "dataset scale factor")
 		seed     = flag.Uint64("seed", 1, "partitioner seed")
-		workers  = flag.Int("workers", 0, "worker goroutines for partitioning ingress and engine supersteps (0 = all cores)")
+		workers  = flag.Int("workers", 0, "worker goroutines per layer: concurrent experiments, and each experiment's ingress/engine supersteps (0 = all cores; OS parallelism stays capped by GOMAXPROCS)")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain tables")
+		jsonOut  = flag.String("json", "", "write the machine-readable report to this file ('-' for stdout)")
+		csvOut   = flag.String("csv", "", "write the typed cells as CSV to this file ('-' for stdout)")
+		compare  = flag.String("compare", "", "baseline report to diff this run against; regressions exit non-zero")
+		tol      = flag.Float64("tolerance", report.DefaultRelTol, "relative tolerance for -compare cell diffs")
+		filterS  = flag.String("filter", "", "dimension filter for report cells, e.g. dataset=road,strategy=HDRF")
 	)
 	flag.Parse()
 
@@ -40,21 +63,43 @@ func main() {
 	}
 
 	var selected []bench.Experiment
+	var subset []string
 	switch {
 	case *all:
 		selected = bench.All()
 	case *runIDs != "":
+		seen := map[string]bool{}
 		for _, id := range strings.Split(*runIDs, ",") {
 			id = strings.TrimSpace(id)
+			if seen[id] {
+				continue // a repeated ID would produce a report Decode rejects
+			}
+			seen[id] = true
 			e, ok := bench.Get(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (try -list)\n", id)
 				os.Exit(2)
 			}
 			selected = append(selected, e)
+			subset = append(subset, id)
 		}
 	default:
 		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *jsonOut == "-" && *csvOut == "-" {
+		fmt.Fprintln(os.Stderr, "benchrunner: -json - and -csv - cannot both stream to stdout")
+		os.Exit(2)
+	}
+	if *markdown && (*jsonOut == "-" || *csvOut == "-") {
+		fmt.Fprintln(os.Stderr, "benchrunner: -markdown cannot render while a report streams to stdout; write the report to a file instead")
+		os.Exit(2)
+	}
+
+	filter, err := report.ParseFilter(*filterS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -63,40 +108,136 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 
-	os.Exit(run(selected, cfg, *markdown, os.Stdout, os.Stderr))
+	opts := options{
+		markdown:  *markdown,
+		jsonOut:   *jsonOut,
+		csvOut:    *csvOut,
+		compare:   *compare,
+		tolerance: *tol,
+		filter:    filter,
+		subset:    subset,
+	}
+	os.Exit(run(selected, cfg, opts, os.Stdout, os.Stderr))
 }
 
-// run executes the selected experiments and returns the process exit code:
-// 0 when every experiment ran and rendered, 1 when any errored — in both
-// plain and markdown modes.
-func run(selected []bench.Experiment, cfg bench.Config, markdown bool, stdout, stderr io.Writer) int {
+// run executes the selected experiments (concurrently, on cfg.Workers
+// goroutines), renders them in input order, emits the requested reports,
+// and returns the process exit code: 0 when everything ran, rendered, and
+// (with -compare) matched the baseline; 1 otherwise.
+func run(selected []bench.Experiment, cfg bench.Config, opts options, stdout, stderr io.Writer) int {
+	runner := bench.Runner{Config: cfg, Filter: opts.filter,
+		// Liveness for long concurrent runs: the timing line lands on
+		// stderr the moment an experiment finishes, in completion order;
+		// tables still render in input order below.
+		Progress: func(rr bench.RunResult) {
+			fmt.Fprintf(stderr, "[%s done in %v]\n", rr.Experiment.ID,
+				time.Duration(rr.Seconds*float64(time.Second)).Round(time.Millisecond))
+		},
+	}
+	results := runner.Run(selected)
+
+	// When a report streams to stdout ("-"), the rendered tables would
+	// corrupt it; keep stdout report-only in that case.
+	renderTables := opts.jsonOut != "-" && opts.csvOut != "-"
+
 	failed := 0
-	for _, e := range selected {
-		start := time.Now()
-		table, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(stderr, "benchrunner: %s: %v\n", e.ID, err)
+	for _, rr := range results {
+		if rr.Err != nil {
+			fmt.Fprintf(stderr, "benchrunner: %s: %v\n", rr.Experiment.ID, rr.Err)
 			failed++
 			continue
 		}
-		if markdown {
-			if err := renderMarkdown(stdout, e, table); err != nil {
-				fmt.Fprintf(stderr, "benchrunner: %s: render: %v\n", e.ID, err)
-				failed++
-			}
-		} else {
-			fmt.Fprintf(stdout, "paper: %s\n", e.Paper)
-			if err := table.Render(stdout); err != nil {
-				fmt.Fprintf(stderr, "benchrunner: %s: render: %v\n", e.ID, err)
-				failed++
+		if renderTables {
+			if opts.markdown {
+				if err := renderMarkdown(stdout, rr.Experiment, rr.Result.Table()); err != nil {
+					fmt.Fprintf(stderr, "benchrunner: %s: render: %v\n", rr.Experiment.ID, err)
+					failed++
+				}
+			} else {
+				fmt.Fprintf(stdout, "paper: %s\n", rr.Experiment.Paper)
+				if err := rr.Result.Render(stdout); err != nil {
+					fmt.Fprintf(stderr, "benchrunner: %s: render: %v\n", rr.Experiment.ID, err)
+					failed++
+				}
 			}
 		}
-		fmt.Fprintf(stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	rep := runner.Report(results)
+	if opts.jsonOut != "" {
+		if err := report.WriteFile(opts.jsonOut, stdout, rep.Encode); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: -json: %v\n", err)
+			failed++
+		}
+	}
+	if opts.csvOut != "" {
+		if err := report.WriteFile(opts.csvOut, stdout, func(w io.Writer) error {
+			return writeCSV(w, rep)
+		}); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: -csv: %v\n", err)
+			failed++
+		}
+	}
+	if opts.compare != "" {
+		n, err := compareBaseline(opts.compare, rep, opts, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: -compare: %v\n", err)
+			failed++
+		} else if n > 0 {
+			failed++
+		}
+	}
+
 	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeCSV flattens the report's cells — already filtered by the Runner,
+// so -filter applies to CSV exactly as it does to JSON — under one header.
+func writeCSV(w io.Writer, rep *report.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(bench.CSVHeader); err != nil {
+		return err
+	}
+	for _, e := range rep.Experiments {
+		if err := bench.CellsCSV(cw, e.ID, e.Cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// compareBaseline diffs the fresh report against the baseline file and
+// reports every regression; it returns how many were found. A -run subset
+// or -filter scopes the baseline first, so partial runs only gate the
+// experiments and cells they actually produced; a full unfiltered run
+// compares against the whole baseline so vanished experiments still flag.
+func compareBaseline(path string, cur *report.Report, opts options, stderr io.Writer) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	base, err := report.Decode(f)
+	if err != nil {
+		return 0, err
+	}
+	if opts.subset != nil || opts.filter != nil {
+		base = base.Scoped(opts.subset, opts.filter)
+	}
+	diffs := report.Compare(base, cur, opts.tolerance)
+	for _, d := range diffs {
+		fmt.Fprintf(stderr, "benchrunner: regression: %s\n", d)
+	}
+	if len(diffs) > 0 {
+		fmt.Fprintf(stderr, "benchrunner: %d regression(s) vs %s\n", len(diffs), path)
+	} else {
+		fmt.Fprintf(stderr, "benchrunner: no regressions vs %s (%d baseline experiments)\n", path, len(base.Experiments))
+	}
+	return len(diffs), nil
 }
 
 func renderMarkdown(w io.Writer, e bench.Experiment, t *bench.Table) error {
@@ -111,6 +252,12 @@ func renderMarkdown(w io.Writer, e bench.Experiment, t *bench.Table) error {
 	ew.printf("| %s |\n", strings.Join(seps, " | "))
 	for _, row := range t.Rows {
 		ew.printf("| %s |\n", strings.Join(row, " | "))
+	}
+	// The ASCII figure used to be silently dropped in markdown mode while
+	// plain mode printed it; emit it as a fenced code block so both views
+	// carry the same content.
+	if t.Figure != "" {
+		ew.printf("\n```\n%s```\n", t.Figure)
 	}
 	ew.printf("\n")
 	for _, n := range t.Notes {

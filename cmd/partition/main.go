@@ -16,8 +16,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -27,6 +29,7 @@ import (
 	"graphpart/internal/decision"
 	"graphpart/internal/graph"
 	"graphpart/internal/partition"
+	"graphpart/internal/report"
 )
 
 func main() {
@@ -46,6 +49,7 @@ func main() {
 		verbose   = flag.Bool("verbose", false, "print per-partition loads")
 		list      = flag.Bool("strategies", false, "list available strategies and exit")
 		recommend = flag.Bool("recommend", false, "also print the decision-tree recommendation for this graph")
+		jsonOut   = flag.String("json", "", "also write the quality metrics as typed JSON cells (benchrunner's Cell schema) to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -62,7 +66,7 @@ func main() {
 	}
 
 	if *stream {
-		streamPartition(s, *input, *parts, *seed, *batch, *verbose)
+		streamPartition(s, *input, *parts, *seed, *batch, *verbose, *jsonOut)
 		return
 	}
 
@@ -92,9 +96,25 @@ func main() {
 	ing := cluster.Ingress(a, s, cc, cluster.DefaultModel())
 
 	cls := graph.Classify(g)
-	fmt.Printf("graph:               %v (%s)\n", g, cls.Class)
-	printMetrics(s, *parts, a, a.EdgeCount, *verbose,
+	// With -json -, stdout carries the JSON document alone; the
+	// human-readable block moves to stderr rather than disappearing.
+	hw := humanWriter(*jsonOut)
+	fmt.Fprintf(hw, "graph:               %v (%s)\n", g, cls.Class)
+	printMetrics(hw, s, *parts, a, a.EdgeCount, *verbose,
 		fmt.Sprintf("ingress (simulated): %.4fs on %d machines", ing.Seconds, m))
+
+	if *jsonOut != "" {
+		name := *dataset
+		if name == "" {
+			name = *input
+		}
+		cells := qualityCells(name, s.Name(), *parts, a)
+		cells = append(cells, report.Cell{Dims: cellDims(name, s.Name(), *parts),
+			Metric: "ingress-seconds", Value: ing.Seconds, Unit: "s"})
+		if err := writeCells(*jsonOut, cells); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *recommend {
 		for _, sys := range []partition.System{partition.PowerGraph, partition.PowerLyra, partition.GraphXAll} {
@@ -104,14 +124,14 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("recommended for %-14s %s\n", sys+":", rec)
+			fmt.Fprintf(hw, "recommended for %-14s %s\n", sys+":", rec)
 		}
 	}
 }
 
 // streamPartition runs the memory-bounded batch ingress for a stateless
 // strategy: the edge list is read once and never held in memory.
-func streamPartition(s partition.Strategy, input string, parts int, seed uint64, batch int, verbose bool) {
+func streamPartition(s partition.Strategy, input string, parts int, seed uint64, batch int, verbose bool, jsonOut string) {
 	if input == "" {
 		log.Fatal("partition: -stream needs -input FILE")
 	}
@@ -140,8 +160,40 @@ func streamPartition(s partition.Strategy, input string, parts int, seed uint64,
 		log.Fatal(err)
 	}
 	sum := b.Finish()
-	fmt.Printf("graph:               %s{|V|=%d |E|=%d} (streamed)\n", input, sum.NumVertices, sum.NumEdges)
-	printMetrics(s, parts, sum, sum.EdgeCount, verbose, "")
+	hw := humanWriter(jsonOut)
+	fmt.Fprintf(hw, "graph:               %s{|V|=%d |E|=%d} (streamed)\n", input, sum.NumVertices, sum.NumEdges)
+	printMetrics(hw, s, parts, sum, sum.EdgeCount, verbose, "")
+	if jsonOut != "" {
+		if err := writeCells(jsonOut, qualityCells(input, s.Name(), parts, sum)); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// cellDims are the dimensions every cmd/partition cell carries.
+func cellDims(dataset, strategy string, parts int) report.Dims {
+	return report.Dims{Dataset: dataset, Strategy: strategy, Parts: parts}
+}
+
+// qualityCells emits the paper's partition-quality metrics in the same
+// typed Cell schema benchrunner reports use, so single-run outputs diff
+// and aggregate alongside full experiment sweeps.
+func qualityCells(dataset, strategy string, parts int, sum partitionSummary) []report.Cell {
+	d := cellDims(dataset, strategy, parts)
+	return []report.Cell{
+		{Dims: d, Metric: "replication-factor", Value: sum.ReplicationFactor(), Unit: "ratio"},
+		{Dims: d, Metric: "total-replicas", Value: float64(sum.TotalReplicas()), Unit: "replicas"},
+		{Dims: d, Metric: "edge-balance", Value: sum.EdgeBalance(), Unit: "max/mean"},
+	}
+}
+
+// writeCells writes the cells as indented JSON to path ('-' = stdout).
+func writeCells(path string, cells []report.Cell) error {
+	return report.WriteFile(path, os.Stdout, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cells)
+	})
 }
 
 // partitionSummary is the metric surface shared by the materialized
@@ -153,19 +205,28 @@ type partitionSummary interface {
 	ReplicasOnPart(p int) int64
 }
 
+// humanWriter picks the stream for the human-readable block: stderr when
+// the JSON document owns stdout ("-"), stdout otherwise.
+func humanWriter(jsonOut string) io.Writer {
+	if jsonOut == "-" {
+		return os.Stderr
+	}
+	return os.Stdout
+}
+
 // printMetrics renders the common quality-metric block (plus the optional
 // extra line and the -verbose per-partition table) for either ingress path.
-func printMetrics(s partition.Strategy, parts int, sum partitionSummary, edgeCount []int64, verbose bool, extra string) {
-	fmt.Printf("strategy:            %s (%s)\n", s.Name(), shapeString(s, parts))
-	fmt.Printf("partitions:          %d\n", parts)
-	fmt.Printf("replication factor:  %.4f\n", sum.ReplicationFactor())
-	fmt.Printf("total replicas:      %d\n", sum.TotalReplicas())
-	fmt.Printf("edge balance:        %.4f (max/mean)\n", sum.EdgeBalance())
+func printMetrics(out io.Writer, s partition.Strategy, parts int, sum partitionSummary, edgeCount []int64, verbose bool, extra string) {
+	fmt.Fprintf(out, "strategy:            %s (%s)\n", s.Name(), shapeString(s, parts))
+	fmt.Fprintf(out, "partitions:          %d\n", parts)
+	fmt.Fprintf(out, "replication factor:  %.4f\n", sum.ReplicationFactor())
+	fmt.Fprintf(out, "total replicas:      %d\n", sum.TotalReplicas())
+	fmt.Fprintf(out, "edge balance:        %.4f (max/mean)\n", sum.EdgeBalance())
 	if extra != "" {
-		fmt.Println(extra)
+		fmt.Fprintln(out, extra)
 	}
 	if verbose {
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "\npartition\tedges\treplicas")
 		for p := 0; p < parts; p++ {
 			fmt.Fprintf(w, "%d\t%d\t%d\n", p, edgeCount[p], sum.ReplicasOnPart(p))

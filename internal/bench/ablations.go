@@ -12,6 +12,7 @@ import (
 	"graphpart/internal/engine"
 	"graphpart/internal/gen"
 	"graphpart/internal/partition"
+	"graphpart/internal/report"
 )
 
 func init() {
@@ -27,13 +28,13 @@ func ablHDRFLambda() Experiment {
 		ID:    "abl.lambda",
 		Title: "HDRF λ sweep (replication vs balance)",
 		Paper: "HDRF's λ trades replication factor against load balance; PowerGraph hardcodes λ=1, which the paper uses throughout (§5.2.4, Appendix B)",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			g, err := loadGraph(cfg, "uk-web")
 			if err != nil {
 				return nil, err
 			}
-			t := &Table{ID: "abl.lambda", Title: "HDRF λ ablation (uk-web, 25 parts)",
-				Columns: []string{"lambda", "replication-factor", "edge-balance"}}
+			r := NewResult("abl.lambda", "HDRF λ ablation (uk-web, 25 parts)",
+				"lambda", "replication-factor", "edge-balance")
 			type res struct{ rf, bal float64 }
 			results := map[float64]res{}
 			for _, lambda := range []float64{0.25, 0.5, 1, 2, 4, 8} {
@@ -42,20 +43,21 @@ func ablHDRFLambda() Experiment {
 					return nil, err
 				}
 				results[lambda] = res{a.ReplicationFactor(), a.EdgeBalance()}
-				t.AddRow(fmt.Sprintf("%.2f", lambda), f3(a.ReplicationFactor()), f3(a.EdgeBalance()))
+				r.Row(report.Dims{Dataset: "uk-web", Strategy: "HDRF", Parts: 25,
+					Variant: fmt.Sprintf("λ=%.2f", lambda)}).
+					Colf("%.2f", lambda).
+					Metric("replication-factor", a.ReplicationFactor(), "ratio", 3).
+					Metric("edge-balance", a.EdgeBalance(), "max/mean", 3)
 			}
 			// Larger λ prioritizes balance: balance should not get worse,
 			// replication should not get better.
-			balOK, rfOK := "✓", "✓"
-			if results[8].bal > results[0.25].bal*1.05 {
-				balOK = "✗"
-			}
-			if results[8].rf < results[0.25].rf*0.98 {
-				rfOK = "✗"
-			}
-			t.Notef("raising λ improves (or preserves) balance: %s", balOK)
-			t.Notef("raising λ costs (or preserves) replication factor: %s", rfOK)
-			return t, nil
+			balOK := results[8].bal <= results[0.25].bal*1.05
+			rfOK := results[8].rf >= results[0.25].rf*0.98
+			r.Checkf(balOK, "raising λ improves or preserves edge balance",
+				"raising λ improves (or preserves) balance: %s", Mark(balOK))
+			r.Checkf(rfOK, "raising λ costs or preserves replication factor",
+				"raising λ costs (or preserves) replication factor: %s", Mark(rfOK))
+			return r, nil
 		},
 	}
 }
@@ -65,13 +67,13 @@ func ablHybridThreshold() Experiment {
 		ID:    "abl.threshold",
 		Title: "Hybrid high-degree threshold sweep",
 		Paper: "Hybrid's threshold (default 100, §6.2.1) splits edge-cut from vertex-cut treatment; too low degenerates toward 1D-source hashing of everything, too high toward pure destination hashing",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			g, err := loadGraph(cfg, "uk-web")
 			if err != nil {
 				return nil, err
 			}
-			t := &Table{ID: "abl.threshold", Title: "Hybrid threshold ablation (uk-web, 25 parts)",
-				Columns: []string{"threshold", "high-degree-vertices", "replication-factor", "edge-balance"}}
+			r := NewResult("abl.threshold", "Hybrid threshold ablation (uk-web, 25 parts)",
+				"threshold", "high-degree-vertices", "replication-factor", "edge-balance")
 			for _, thr := range []int{5, 15, 30, 60, 120, 1 << 30} {
 				a, err := partition.ParallelPartition(g, partition.Hybrid{Threshold: thr}, 25, cfg.Seed, 0)
 				if err != nil {
@@ -87,10 +89,15 @@ func ablHybridThreshold() Experiment {
 				if thr == 1<<30 {
 					label = "∞ (pure dst-hash)"
 				}
-				t.AddRow(label, fmt.Sprintf("%d", high), f3(a.ReplicationFactor()), f3(a.EdgeBalance()))
+				r.Row(report.Dims{Dataset: "uk-web", Strategy: "Hybrid", Parts: 25,
+					Variant: "threshold=" + label}).
+					Col(label).
+					Metric("high-degree-vertices", float64(high), "vertices", 0).
+					Metric("replication-factor", a.ReplicationFactor(), "ratio", 3).
+					Metric("edge-balance", a.EdgeBalance(), "max/mean", 3)
 			}
-			t.Notef("the thesis-scale default (30 on the stand-ins, 100 in the paper) sits at the replication/balance knee")
-			return t, nil
+			r.Notef("the thesis-scale default (30 on the stand-ins, 100 in the paper) sits at the replication/balance knee")
+			return r, nil
 		},
 	}
 }
@@ -100,13 +107,13 @@ func ablLoaders() Experiment {
 		ID:    "abl.loaders",
 		Title: "Oblivious loader-count ablation (the cost of obliviousness)",
 		Paper: "Oblivious keeps loaders ignorant of each other's placements to stay fast (§5.2.2); more independent loaders mean worse (higher) replication factors",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			g, err := loadGraph(cfg, "road-usa")
 			if err != nil {
 				return nil, err
 			}
-			t := &Table{ID: "abl.loaders", Title: "Oblivious/HDRF loader count vs replication (road-usa, 16 parts)",
-				Columns: []string{"strategy", "loaders", "replication-factor"}}
+			r := NewResult("abl.loaders", "Oblivious/HDRF loader count vs replication (road-usa, 16 parts)",
+				"strategy", "loaders", "replication-factor")
 			var first, last float64
 			loaderCounts := []int{1, 2, 4, 16, 64}
 			for _, name := range []string{"Oblivious", "HDRF"} {
@@ -120,7 +127,11 @@ func ablLoaders() Experiment {
 						return nil, err
 					}
 					rf := a.ReplicationFactor()
-					t.AddRow(name, fmt.Sprintf("%d", l), f3(rf))
+					r.Row(report.Dims{Dataset: "road-usa", Strategy: name, Parts: 16,
+						Variant: fmt.Sprintf("loaders=%d", l)}).
+						Col(name).
+						Colf("%d", l).
+						Metric("replication-factor", rf, "ratio", 3)
 					if name == "Oblivious" && l == loaderCounts[0] {
 						first = rf
 					}
@@ -129,12 +140,10 @@ func ablLoaders() Experiment {
 					}
 				}
 			}
-			verdict := "✓"
-			if last <= first {
-				verdict = "✗"
-			}
-			t.Notef("a single global loader beats 64 oblivious loaders on RF (%0.3f vs %0.3f): %s", first, last, verdict)
-			return t, nil
+			pass := last > first
+			r.Checkf(pass, "a single global loader beats 64 oblivious loaders on replication factor",
+				"a single global loader beats 64 oblivious loaders on RF (%0.3f vs %0.3f): %s", first, last, Mark(pass))
+			return r, nil
 		},
 	}
 }
@@ -144,9 +153,9 @@ func ablLocality() Experiment {
 		ID:    "abl.locality",
 		Title: "Web-graph edge-list locality ablation (substitution validity)",
 		Paper: "the greedy strategies' uk-web advantage (§5.4.2) rests on real crawls' source-sorted, host-local edge order; destroying that locality should erase HDRF's edge over Grid",
-		Run: func(cfg Config) (*Table, error) {
-			t := &Table{ID: "abl.locality", Title: "HDRF vs Grid RF as a function of generator locality",
-				Columns: []string{"locality", "HDRF-RF", "Grid-RF", "HDRF wins?"}}
+		Run: func(cfg Config) (*Result, error) {
+			r := NewResult("abl.locality", "HDRF vs Grid RF as a function of generator locality",
+				"locality", "HDRF-RF", "Grid-RF", "HDRF wins?")
 			wins := map[float64]bool{}
 			for _, loc := range []float64{0.05, 0.4, 0.86} {
 				g := gen.WebGraph("abl-web", gen.WebGraphConfig{
@@ -163,15 +172,19 @@ func ablLocality() Experiment {
 				}
 				win := hdrf.ReplicationFactor() < grid.ReplicationFactor()
 				wins[loc] = win
-				t.AddRow(fmt.Sprintf("%.2f", loc), f3(hdrf.ReplicationFactor()), f3(grid.ReplicationFactor()),
-					fmt.Sprintf("%v", win))
+				variant := fmt.Sprintf("locality=%.2f", loc)
+				r.Row(report.Dims{Dataset: "abl-web", Parts: 25, Variant: variant}).
+					Colf("%.2f", loc).
+					MetricAt(report.Dims{Dataset: "abl-web", Strategy: "HDRF", Parts: 25, Variant: variant},
+						"replication-factor", hdrf.ReplicationFactor(), "ratio", 3).
+					MetricAt(report.Dims{Dataset: "abl-web", Strategy: "Grid", Parts: 25, Variant: variant},
+						"replication-factor", grid.ReplicationFactor(), "ratio", 3).
+					Colf("%v", win)
 			}
-			verdict := "✓"
-			if wins[0.05] || !wins[0.86] {
-				verdict = "✗"
-			}
-			t.Notef("HDRF beats Grid only when the edge list has crawl-like locality: %s", verdict)
-			return t, nil
+			pass := !wins[0.05] && wins[0.86]
+			r.Checkf(pass, "HDRF beats Grid only with crawl-like edge-list locality",
+				"HDRF beats Grid only when the edge list has crawl-like locality: %s", Mark(pass))
+			return r, nil
 		},
 	}
 }
@@ -181,11 +194,11 @@ func ablEngine() Experiment {
 		ID:    "abl.engine",
 		Title: "Engine ablation: PowerGraph vs PowerLyra on identical assignments",
 		Paper: "PowerLyra's differentiated processing (§6.1) should cut traffic most for natural applications on Hybrid partitions, least for non-natural applications on hash partitions",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
 			cc := cluster.EC2x25
-			t := &Table{ID: "abl.engine", Title: "engine mode ablation (uk-web, EC2-25)",
-				Columns: []string{"strategy", "app", "PG-net-GB", "Lyra-net-GB", "saving"}}
+			r := NewResult("abl.engine", "engine mode ablation (uk-web, EC2-25)",
+				"strategy", "app", "PG-net-GB", "Lyra-net-GB", "saving")
 			type key struct{ strat, app string }
 			saving := map[key]float64{}
 			for _, strat := range []string{"Hybrid", "Random"} {
@@ -207,15 +220,21 @@ func ablEngine() Experiment {
 					}
 					s := 1 - lyra.AvgNetInGB/pg.AvgNetInGB
 					saving[key{strat, spec.name}] = s
-					t.AddRow(strat, spec.name, f3(pg.AvgNetInGB), f3(lyra.AvgNetInGB), fmt.Sprintf("%.1f%%", 100*s))
+					base := report.Dims{Dataset: "uk-web", Strategy: strat, App: spec.name,
+						Cluster: clusterName(cc), Parts: cc.NumParts()}
+					pgDims, lyraDims := base, base
+					pgDims.Engine, lyraDims.Engine = enginePowerGraph, enginePowerLyra
+					r.Row(base).Col(strat, spec.name).
+						MetricAt(pgDims, "net-in-GB", pg.AvgNetInGB, "GB", 3).
+						MetricAt(lyraDims, "net-in-GB", lyra.AvgNetInGB, "GB", 3).
+						Colf("%.1f%%", 100*s).
+						Value("lyra-net-saving", s, "fraction")
 				}
 			}
-			verdict := "✓"
-			if saving[key{"Hybrid", "PageRank(10)"}] <= saving[key{"Random", "WCC"}] {
-				verdict = "✗"
-			}
-			t.Notef("largest saving for natural app on Hybrid partitions, smallest for non-natural on Random: %s", verdict)
-			return t, nil
+			pass := saving[key{"Hybrid", "PageRank(10)"}] > saving[key{"Random", "WCC"}]
+			r.Checkf(pass, "PowerLyra saves most for the natural app on Hybrid partitions",
+				"largest saving for natural app on Hybrid partitions, smallest for non-natural on Random: %s", Mark(pass))
+			return r, nil
 		},
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"graphpart/internal/engine/graphx"
 	"graphpart/internal/partition"
 	"graphpart/internal/plot"
+	"graphpart/internal/report"
 )
 
 // graphxAllStrategies are the nine strategies of §9.1.
@@ -44,19 +45,19 @@ func cumulativeAt(st graphx.Stats, iter int) float64 {
 }
 
 // gxIterationExperiment builds a Fig 9.1/9.2-style experiment.
-func gxIterationExperiment(id, dataset, paper string, check func(t *Table, cum map[string]map[string][]float64)) Experiment {
+func gxIterationExperiment(id, dataset, paper string, check func(r *Result, cum map[string]map[string][]float64)) Experiment {
 	return Experiment{
 		ID:    id,
 		Title: fmt.Sprintf("GraphX-all cumulative per-iteration times (%s, Local-9, 25 iterations)", dataset),
 		Paper: paper,
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
 			cc := cluster.GraphXLocal9
 			cols := []string{"app", "strategy"}
 			for _, ic := range iterCheckpoints {
 				cols = append(cols, fmt.Sprintf("t@%d", ic))
 			}
-			t := &Table{ID: id, Title: "cumulative seconds at iteration checkpoints (includes partitioning)", Columns: cols}
+			r := NewResult(id, "cumulative seconds at iteration checkpoints (includes partitioning)", cols...)
 			// cum[app][strategy] = cumulative seconds at each checkpoint.
 			cum := map[string]map[string][]float64{}
 			for _, appName := range []string{"SSSP", "WCC", "PageRank"} {
@@ -70,14 +71,13 @@ func gxIterationExperiment(id, dataset, paper string, check func(t *Table, cum m
 					if err != nil {
 						return nil, err
 					}
-					row := []string{appName, strat}
+					row := r.Row(gxDims(cc, dataset, strat, appName)).Col(appName, strat)
 					var series []float64
 					for _, ic := range iterCheckpoints {
 						v := cumulativeAt(st, ic)
 						series = append(series, v)
-						row = append(row, f3(v))
+						row.Metric(fmt.Sprintf("t@%d", ic), v, "s", 3)
 					}
-					t.Rows = append(t.Rows, row)
 					cum[appName][strat] = series
 				}
 			}
@@ -94,10 +94,10 @@ func gxIterationExperiment(id, dataset, paper string, check func(t *Table, cum m
 			ln := plot.Lines{Title: "PageRank cumulative time at iteration i (" + dataset + ")",
 				XLabel: "iterations", YLabel: "seconds", X: xs, Series: series}
 			if err := ln.Render(&fig); err == nil {
-				t.Figure = fig.String()
+				r.Figure = fig.String()
 			}
-			check(t, cum)
-			return t, nil
+			check(r, cum)
+			return r, nil
 		},
 	}
 }
@@ -105,45 +105,36 @@ func gxIterationExperiment(id, dataset, paper string, check func(t *Table, cum m
 func fig91() Experiment {
 	return gxIterationExperiment("fig9.1", "road-ca",
 		"on the low-degree road network, (Canonical) Random is fastest for few iterations; the greedy strategies (HDRF/Oblivious) have lower per-iteration slopes and catch up as iterations grow; the crossover appears earliest for PageRank (all vertices active), later for WCC, and not at all for SSSP",
-		func(t *Table, cum map[string]map[string][]float64) {
+		func(r *Result, cum map[string]map[string][]float64) {
 			last := len(iterCheckpoints) - 1
 			// CR starts ahead (cheap partitioning).
-			early := "✓"
-			if cum["PageRank"]["CanonicalRandom"][0] > cum["PageRank"]["HDRF"][0] {
-				early = "✗"
-			}
-			t.Notef("Canonical Random ahead of HDRF at iteration 1 (PageRank): %s", early)
+			early := cum["PageRank"]["CanonicalRandom"][0] <= cum["PageRank"]["HDRF"][0]
+			r.Checkf(early, "Canonical Random ahead of HDRF at iteration 1 for PageRank",
+				"Canonical Random ahead of HDRF at iteration 1 (PageRank): %s", Mark(early))
 			// Greedy slopes are lower for the all-active app.
 			slope := func(app, strat string) float64 {
 				s := cum[app][strat]
 				return s[last] - s[0]
 			}
-			slopeOK := "✓"
-			if slope("PageRank", "HDRF") >= slope("PageRank", "CanonicalRandom") {
-				slopeOK = "✗"
-			}
-			t.Notef("HDRF per-iteration slope lower than Canonical Random's (PageRank): %s", slopeOK)
+			slopeOK := slope("PageRank", "HDRF") < slope("PageRank", "CanonicalRandom")
+			r.Checkf(slopeOK, "HDRF's per-iteration slope is lower than Canonical Random's for PageRank",
+				"HDRF per-iteration slope lower than Canonical Random's (PageRank): %s", Mark(slopeOK))
 			// Crossover order: PageRank crosses by 25; SSSP does not cross.
 			crossed := func(app string) bool {
 				return cum[app]["HDRF"][last] < cum[app]["CanonicalRandom"][last]
 			}
-			pr, sssp := "✓", "✓"
-			if !crossed("PageRank") {
-				pr = "✗"
-			}
-			if crossed("SSSP") {
-				sssp = "✗"
-			}
-			t.Notef("PageRank crossover (HDRF beats CR by iter 25): %s; SSSP no crossover: %s", pr, sssp)
+			pr, sssp := crossed("PageRank"), !crossed("SSSP")
+			r.Checkf(pr && sssp, "PageRank crosses over by iteration 25, SSSP never does",
+				"PageRank crossover (HDRF beats CR by iter 25): %s; SSSP no crossover: %s", Mark(pr), Mark(sssp))
 		})
 }
 
 func fig92() Experiment {
 	return gxIterationExperiment("fig9.2", "livejournal",
 		"on the heavy-tailed graph, 2D is always the best or among the best strategies; Grid follows 2D closely",
-		func(t *Table, cum map[string]map[string][]float64) {
+		func(r *Result, cum map[string]map[string][]float64) {
 			last := len(iterCheckpoints) - 1
-			ok := "✓"
+			ok := true
 			for _, appName := range []string{"SSSP", "WCC", "PageRank"} {
 				best := -1.0
 				for _, strat := range graphxAllStrategies() {
@@ -153,16 +144,15 @@ func fig92() Experiment {
 					}
 				}
 				if cum[appName]["2D"][last] > best*1.15 {
-					ok = "✗"
-					t.Notef("%s: 2D (%.3fs) not within 15%% of best (%.3fs) ✗", appName, cum[appName]["2D"][last], best)
+					ok = false
+					r.Notef("%s: 2D (%.3fs) not within 15%% of best (%.3fs) ✗", appName, cum[appName]["2D"][last], best)
 				}
 			}
-			t.Notef("2D best or among the best on the heavy-tailed graph (all apps): %s", ok)
-			grid := "✓"
-			if cum["PageRank"]["ResilientGrid"][last] > cum["PageRank"]["2D"][last]*1.3 {
-				grid = "✗"
-			}
-			t.Notef("Grid follows 2D closely (PageRank): %s", grid)
+			r.Checkf(ok, "2D best or among the best on the heavy-tailed graph for all apps",
+				"2D best or among the best on the heavy-tailed graph (all apps): %s", Mark(ok))
+			grid := cum["PageRank"]["ResilientGrid"][last] <= cum["PageRank"]["2D"][last]*1.3
+			r.Checkf(grid, "Grid follows 2D closely for PageRank",
+				"Grid follows 2D closely (PageRank): %s", Mark(grid))
 		})
 }
 
@@ -171,7 +161,7 @@ func fig94() Experiment {
 		ID:    "fig9.4",
 		Title: "Effect of executor memory on execution time (GraphX-all, road-ca, Local-9)",
 		Paper: "three regimes: (1) too little memory → the job fails; (2) fits cluster-wide but not in few executors → unpredictable redistribution attempts inflate time; (3) fits in a few executors → fast, and execution time keeps decreasing as added memory shrinks GC overhead",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
 			cc := cluster.GraphXLocal9
 			a, err := assignment(cfg, "road-ca", "CanonicalRandom", cc.NumParts())
@@ -186,8 +176,8 @@ func fig94() Experiment {
 					float64(a.EdgeCount[p])*float64(model.EdgeMemBytes)
 			}
 			perMachine := totalMem / float64(cc.Machines)
-			t := &Table{ID: "fig9.4", Title: "execution time vs executor memory",
-				Columns: []string{"executor-mem", "outcome", "fit-attempts", "gc-overhead", "exec-seconds"}}
+			r := NewResult("fig9.4", "execution time vs executor memory",
+				"executor-mem", "outcome", "fit-attempts", "gc-overhead", "exec-seconds")
 			type sample struct {
 				frac    float64
 				failed  bool
@@ -211,33 +201,43 @@ func fig94() Experiment {
 				} else {
 					outcome = "first-attempt fit (case 3)"
 				}
-				t.AddRow(fmt.Sprintf("%.2f×workingset", frac), outcome,
-					fmt.Sprintf("%d", st.FitAttempts), f2(st.GCOverhead), f2(st.ComputeSeconds))
+				r.Row(report.Dims{Dataset: "road-ca", Strategy: "CanonicalRandom", App: "PageRank",
+					Engine: engineGraphX, Cluster: clusterName(cc), Parts: cc.NumParts(),
+					Variant: fmt.Sprintf("%.2f×workingset", frac)}).
+					Colf("%.2f×workingset", frac).
+					Col(outcome).
+					Metric("fit-attempts", float64(st.FitAttempts), "attempts", 0).
+					Metric("gc-overhead", st.GCOverhead, "ratio", 2).
+					Metric("exec-seconds", st.ComputeSeconds, "s", 2)
 				samples = append(samples, sample{frac, st.Failed, st.FitAttempts, st.ComputeSeconds})
 			}
 			// Verdicts.
-			c1, c2, c3, dec := "✗", "✗", "✗", "✓"
+			c1, c2, c3, dec := false, false, false, true
 			var lastOK float64 = -1
 			for _, s := range samples {
 				if s.failed {
-					c1 = "✓"
+					c1 = true
 				}
 				if !s.failed && s.fits > 0 {
-					c2 = "✓"
+					c2 = true
 				}
 				if !s.failed && s.fits == 0 {
-					c3 = "✓"
+					c3 = true
 					if lastOK >= 0 && s.seconds > lastOK*1.001 {
-						dec = "✗"
+						dec = false
 					}
 					lastOK = s.seconds
 				}
 			}
-			t.Notef("case 1 (failure at low memory) observed: %s", c1)
-			t.Notef("case 2 (redistribution attempts) observed: %s", c2)
-			t.Notef("case 3 (first-attempt fit) observed: %s", c3)
-			t.Notef("execution time decreases with more memory in case 3 (GC overhead shrinks): %s", dec)
-			return t, nil
+			r.Checkf(c1, "case 1: the job fails at low memory",
+				"case 1 (failure at low memory) observed: %s", Mark(c1))
+			r.Checkf(c2, "case 2: redistribution attempts at middling memory",
+				"case 2 (redistribution attempts) observed: %s", Mark(c2))
+			r.Checkf(c3, "case 3: first-attempt fit at ample memory",
+				"case 3 (first-attempt fit) observed: %s", Mark(c3))
+			r.Checkf(dec, "execution time decreases with more memory in case 3",
+				"execution time decreases with more memory in case 3 (GC overhead shrinks): %s", Mark(dec))
+			return r, nil
 		},
 	}
 }

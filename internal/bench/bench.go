@@ -2,14 +2,22 @@
 // per table and figure in the paper's evaluation chapters, each regenerating
 // the corresponding rows/series on the simulated cluster.
 //
+// Experiments produce a typed Result — measurement Cells keyed by the
+// paper's dimensions plus structured Checks — and every rendering (the
+// plain tables, markdown, CSV, the JSON report) is a view derived from it.
+//
 // Run them via cmd/benchrunner or the root-level Go benchmarks
 // (bench_test.go). Every experiment is deterministic.
 package bench
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
+	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -19,6 +27,7 @@ import (
 	"graphpart/internal/engine/graphx"
 	"graphpart/internal/graph"
 	"graphpart/internal/partition"
+	"graphpart/internal/report"
 )
 
 // Config tunes an experiment run.
@@ -33,10 +42,11 @@ type Config struct {
 	HybridThreshold int
 	// Seed for all partitioners.
 	Seed uint64
-	// Workers bounds the engines' per-superstep worker goroutines (and
-	// the partitioners' ingress workers); ≤0 means GOMAXPROCS. Results
-	// are byte-identical for every value — parallelism only changes
-	// wall-clock, which is what makes -scale ≥2 runs tractable.
+	// Workers bounds the engines' per-superstep worker goroutines, the
+	// partitioners' ingress workers, and the Runner's concurrent
+	// experiments; ≤0 means GOMAXPROCS. Results are byte-identical for
+	// every value — parallelism only changes wall-clock, which is what
+	// makes -scale ≥2 runs tractable.
 	Workers int
 }
 
@@ -60,6 +70,16 @@ func (c Config) scale() int {
 	return c.Scale
 }
 
+// Info returns the manifest form of the configuration.
+func (c Config) Info() report.ConfigInfo {
+	return report.ConfigInfo{
+		Scale:           c.scale(),
+		Seed:            c.Seed,
+		HybridThreshold: c.HybridThreshold,
+		Workers:         c.Workers,
+	}
+}
+
 // engineOpts is the base engine.Options every experiment starts from; app
 // specs fill in their own iteration caps.
 func (c Config) engineOpts() engine.Options {
@@ -73,7 +93,123 @@ func (c Config) graphxConfig(cc cluster.Config, iterations int) graphx.Config {
 	return graphx.Config{Cluster: cc, Iterations: iterations, Workers: c.Workers}
 }
 
-// Table is a rendered experiment result.
+// --- typed results ----------------------------------------------------
+
+// Result is the typed outcome of one experiment run: measurement cells and
+// structured checks first, presentation (column layout, note text, ASCII
+// figure) alongside so every rendering derives from the same record.
+type Result struct {
+	ID    string
+	Title string
+	// Cells are the typed measurements, in emission order.
+	Cells []report.Cell
+	// Checks are the structured verdicts, in emission order.
+	Checks []report.Check
+	// Figure optionally carries an ASCII rendering of the paper's figure
+	// (scatter with trend line, or cumulative curves).
+	Figure string
+
+	columns []string
+	rows    []*Row
+	notes   []string
+}
+
+// NewResult starts a result with the table's column headers.
+func NewResult(id, title string, columns ...string) *Result {
+	return &Result{ID: id, Title: title, columns: columns}
+}
+
+// Row opens a presentation row whose metric cells inherit d. Columns are
+// appended through the returned builder.
+func (r *Result) Row(d report.Dims) *Row {
+	row := &Row{res: r, dims: d}
+	r.rows = append(r.rows, row)
+	return row
+}
+
+// Cell appends a typed cell with no presentation column — for tables whose
+// rendered rows aggregate the underlying measurements (rankings, trend
+// fits) rather than listing them.
+func (r *Result) Cell(d report.Dims, metric string, v float64, unit string) {
+	r.Cells = append(r.Cells, report.Cell{Dims: d, Metric: metric, Value: v, Unit: unit})
+}
+
+// Notef appends an informational note (no verdict).
+func (r *Result) Notef(format string, args ...any) {
+	r.notes = append(r.notes, fmt.Sprintf(format, args...))
+}
+
+// Checkf appends a structured check and its table note. The note renders
+// exactly as fmt.Sprintf(format, args...) — call sites place the ✓/✗ mark
+// (or a longer verdict string) themselves, typically via Mark(pass). The
+// rendered note doubles as the check's Observed evidence.
+func (r *Result) Checkf(pass bool, claim, format string, args ...any) {
+	note := fmt.Sprintf(format, args...)
+	r.Checks = append(r.Checks, report.Check{Claim: claim, Observed: note, Pass: pass})
+	r.notes = append(r.notes, note)
+}
+
+// Check appends a structured check without a table note — for verdicts the
+// rendered table only mentions when they fail. Recording the passing case
+// keeps the check visible to -compare, which gates only checks that passed
+// in the baseline.
+func (r *Result) Check(pass bool, claim, observed string) {
+	r.Checks = append(r.Checks, report.Check{Claim: claim, Observed: observed, Pass: pass})
+}
+
+// Mark renders a pass/fail verdict the way the paper tables do.
+func Mark(pass bool) string {
+	if pass {
+		return "✓"
+	}
+	return "✗"
+}
+
+// Row builds one presentation row and the typed cells behind it.
+type Row struct {
+	res  *Result
+	dims report.Dims
+	cols []string
+}
+
+// Col appends presentation-only columns (dimension labels, qualitative
+// text); they carry no typed value.
+func (w *Row) Col(cells ...string) *Row {
+	w.cols = append(w.cols, cells...)
+	return w
+}
+
+// Colf appends one formatted presentation-only column.
+func (w *Row) Colf(format string, args ...any) *Row {
+	w.cols = append(w.cols, fmt.Sprintf(format, args...))
+	return w
+}
+
+// Metric appends a typed cell under the row's dims and renders it as the
+// next column with prec decimal places.
+func (w *Row) Metric(metric string, v float64, unit string, prec int) *Row {
+	return w.MetricAt(w.dims, metric, v, unit, prec)
+}
+
+// MetricAt is Metric with explicit dims, for rows whose columns measure
+// different points of the matrix (e.g. two strategies side by side).
+func (w *Row) MetricAt(d report.Dims, metric string, v float64, unit string, prec int) *Row {
+	w.res.Cell(d, metric, v, unit)
+	w.cols = append(w.cols, strconv.FormatFloat(v, 'f', prec, 64))
+	return w
+}
+
+// Value appends a typed cell under the row's dims without a presentation
+// column.
+func (w *Row) Value(metric string, v float64, unit string) *Row {
+	w.res.Cell(w.dims, metric, v, unit)
+	return w
+}
+
+// --- reporters --------------------------------------------------------
+
+// Table is the plain-text presentation of a Result (the paper artifact
+// view). It is derived — see Result.Table — never built by experiments.
 type Table struct {
 	ID      string
 	Title   string
@@ -87,13 +223,42 @@ type Table struct {
 	Figure string
 }
 
-// AddRow appends a row of stringified cells.
-func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
-
-// Notef appends a formatted note.
-func (t *Table) Notef(format string, args ...any) {
-	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+// Table derives the presentation table from the result.
+func (r *Result) Table() *Table {
+	t := &Table{ID: r.ID, Title: r.Title, Columns: r.columns, Figure: r.Figure}
+	for _, row := range r.rows {
+		t.Rows = append(t.Rows, row.cols)
+	}
+	t.Notes = append(t.Notes, r.notes...)
+	return t
 }
+
+// Render writes the plain-text table view of the result.
+func (r *Result) Render(w io.Writer) error { return r.Table().Render(w) }
+
+// CellsCSV writes one CSV row per cell in the CSVHeader layout, tagged
+// with the owning experiment id (one line per cell; the id column makes
+// multi-experiment CSVs concatenable). The benchrunner -csv reporter
+// feeds it the report's filtered cells.
+func CellsCSV(w *csv.Writer, id string, cells []report.Cell) error {
+	for _, c := range cells {
+		rec := []string{
+			id, c.Dims.Dataset, c.Dims.Strategy, c.Dims.App, c.Dims.Engine,
+			c.Dims.Cluster, c.Dims.Variant, "", c.Metric,
+			strconv.FormatFloat(c.Value, 'g', -1, 64), c.Unit,
+		}
+		if c.Dims.Parts != 0 {
+			rec[7] = strconv.Itoa(c.Dims.Parts)
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVHeader is the column header matching RenderCSV's rows.
+var CSVHeader = []string{"experiment", "dataset", "strategy", "app", "engine", "cluster", "variant", "parts", "metric", "value", "unit"}
 
 // Render writes the table as aligned text.
 func (t *Table) Render(w io.Writer) error {
@@ -146,45 +311,82 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
+// --- registry ---------------------------------------------------------
+
 // Experiment regenerates one table or figure from the paper.
 type Experiment struct {
 	ID    string // e.g. "fig5.3", "tab5.1"
 	Title string
 	// Paper summarizes the shape the paper reports for this artifact.
 	Paper string
-	Run   func(Config) (*Table, error)
+	Run   func(Config) (*Result, error)
 }
 
-var (
-	regMu    sync.Mutex
-	registry []Experiment
-)
-
-func register(e Experiment) {
-	regMu.Lock()
-	defer regMu.Unlock()
-	registry = append(registry, e)
+// registrySet is a name-keyed experiment index: O(1) lookups, one sort per
+// registration epoch, and duplicate-ID detection at registration time.
+type registrySet struct {
+	mu     sync.Mutex
+	byID   map[string]Experiment
+	site   map[string]string
+	sorted []Experiment // built on first all(), invalidated by add
 }
 
-// All returns every registered experiment sorted by ID.
-func All() []Experiment {
-	regMu.Lock()
-	defer regMu.Unlock()
-	out := make([]Experiment, len(registry))
-	copy(out, registry)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+func newRegistrySet() *registrySet {
+	return &registrySet{byID: map[string]Experiment{}, site: map[string]string{}}
+}
+
+// add registers an experiment. Duplicate IDs are a programming error: the
+// panic names both registrants so the offending init is obvious.
+func (rs *registrySet) add(e Experiment, site string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if prev, ok := rs.byID[e.ID]; ok {
+		panic(fmt.Sprintf("bench: duplicate experiment ID %q: %q registered at %s, %q at %s",
+			e.ID, prev.Title, rs.site[e.ID], e.Title, site))
+	}
+	rs.byID[e.ID] = e
+	rs.site[e.ID] = site
+	rs.sorted = nil
+}
+
+func (rs *registrySet) all() []Experiment {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.sorted == nil {
+		rs.sorted = make([]Experiment, 0, len(rs.byID))
+		for _, e := range rs.byID {
+			rs.sorted = append(rs.sorted, e)
+		}
+		sort.Slice(rs.sorted, func(i, j int) bool { return rs.sorted[i].ID < rs.sorted[j].ID })
+	}
+	out := make([]Experiment, len(rs.sorted))
+	copy(out, rs.sorted)
 	return out
 }
 
-// Get looks an experiment up by ID.
-func Get(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+func (rs *registrySet) get(id string) (Experiment, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	e, ok := rs.byID[id]
+	return e, ok
 }
+
+var reg = newRegistrySet()
+
+// register adds an experiment to the package registry at init time.
+func register(e Experiment) {
+	site := "unknown"
+	if _, file, line, ok := runtime.Caller(1); ok {
+		site = fmt.Sprintf("%s:%d", filepath.Base(file), line)
+	}
+	reg.add(e, site)
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment { return reg.all() }
+
+// Get looks an experiment up by ID in the registry map.
+func Get(id string) (Experiment, bool) { return reg.get(id) }
 
 // --- assignment cache -------------------------------------------------
 
@@ -197,40 +399,49 @@ type asgKey struct {
 	seed     uint64
 }
 
+// asgEntry is a once-per-key cache slot: under the concurrent Runner,
+// experiments racing for the same assignment share one computation
+// instead of each recomputing it (a classic cache stampede — the uk-web
+// partitionings cost seconds each).
+type asgEntry struct {
+	once sync.Once
+	a    *partition.Assignment
+	err  error
+}
+
 var (
 	asgMu    sync.Mutex
-	asgCache = map[asgKey]*partition.Assignment{}
+	asgCache = map[asgKey]*asgEntry{}
 )
 
 // assignment partitions a named dataset with a named strategy, caching the
-// result (experiments share many assignments). It runs the parallel
-// streaming pipeline, which is placement-identical to the sequential path
-// for every strategy.
+// result (experiments share many assignments; concurrent callers of the
+// same key block on one computation). It runs the parallel streaming
+// pipeline, which is placement-identical to the sequential path for every
+// strategy.
 func assignment(cfg Config, dataset, strategy string, parts int) (*partition.Assignment, error) {
 	key := asgKey{dataset, cfg.scale(), strategy, parts, cfg.HybridThreshold, cfg.Seed}
 	asgMu.Lock()
-	if a, ok := asgCache[key]; ok {
-		asgMu.Unlock()
-		return a, nil
+	e, ok := asgCache[key]
+	if !ok {
+		e = &asgEntry{}
+		asgCache[key] = e
 	}
 	asgMu.Unlock()
-
-	g, err := datasets.Load(dataset, cfg.scale())
-	if err != nil {
-		return nil, err
-	}
-	s, err := partition.New(strategy, partition.Options{HybridThreshold: cfg.HybridThreshold})
-	if err != nil {
-		return nil, err
-	}
-	a, err := partition.ParallelPartition(g, s, parts, cfg.Seed, cfg.Workers)
-	if err != nil {
-		return nil, err
-	}
-	asgMu.Lock()
-	asgCache[key] = a
-	asgMu.Unlock()
-	return a, nil
+	e.once.Do(func() {
+		g, err := datasets.Load(dataset, cfg.scale())
+		if err != nil {
+			e.err = err
+			return
+		}
+		s, err := partition.New(strategy, partition.Options{HybridThreshold: cfg.HybridThreshold})
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.a, e.err = partition.ParallelPartition(g, s, parts, cfg.Seed, cfg.Workers)
+	})
+	return e.a, e.err
 }
 
 // strategyFor returns the constructed strategy (for ingress modeling).

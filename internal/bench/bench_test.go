@@ -1,17 +1,20 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/csv"
+	"errors"
 	"strings"
 	"testing"
 
 	"graphpart/internal/cluster"
+	"graphpart/internal/report"
 )
 
 func TestTableRender(t *testing.T) {
-	tab := &Table{ID: "x.1", Title: "test table", Columns: []string{"a", "long-column"}}
-	tab.AddRow("1", "2")
-	tab.AddRow("333", "4")
-	tab.Notef("note %d", 7)
+	tab := &Table{ID: "x.1", Title: "test table", Columns: []string{"a", "long-column"},
+		Rows:  [][]string{{"1", "2"}, {"333", "4"}},
+		Notes: []string{"note 7"}}
 	var sb strings.Builder
 	if err := tab.Render(&sb); err != nil {
 		t.Fatal(err)
@@ -34,6 +37,94 @@ func TestDefaultConfig(t *testing.T) {
 	}
 	if (Config{Scale: -3}).scale() != 1 {
 		t.Error("negative scale not clamped")
+	}
+	info := (Config{Scale: -3, Seed: 7, HybridThreshold: 30, Workers: 2}).Info()
+	if info.Scale != 1 || info.Seed != 7 || info.Workers != 2 {
+		t.Errorf("unexpected config info %+v", info)
+	}
+}
+
+// TestResultBuilder covers the typed-result API: rows emit presentation
+// columns and cells together, checks carry structured verdicts, and the
+// Table view derives from the same record.
+func TestResultBuilder(t *testing.T) {
+	r := NewResult("x.2", "builder", "graph", "strategy", "rf", "verdict")
+	d := report.Dims{Dataset: "road-ca", Strategy: "HDRF", Parts: 9}
+	r.Row(d).Col("road-ca", "HDRF").
+		Metric("replication-factor", 1.2345, "ratio", 3).
+		Col("fine").
+		Value("hidden-metric", 42, "x")
+	r.Cell(report.Dims{Dataset: "road-ca"}, "fit-slope", 0.5, "")
+	r.Notef("info %d", 1)
+	r.Checkf(true, "the claim", "measured %.1f ok %s", 3.5, Mark(true))
+
+	if len(r.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(r.Cells))
+	}
+	if got := r.Cells[0]; got.Metric != "replication-factor" || got.Value != 1.2345 || got.Dims != d {
+		t.Errorf("unexpected first cell %+v", got)
+	}
+	if r.Cells[1].Metric != "hidden-metric" || r.Cells[1].Dims != d {
+		t.Errorf("Value cell lost row dims: %+v", r.Cells[1])
+	}
+	if len(r.Checks) != 1 || !r.Checks[0].Pass || r.Checks[0].Claim != "the claim" {
+		t.Fatalf("unexpected checks %+v", r.Checks)
+	}
+	if r.Checks[0].Observed != "measured 3.5 ok ✓" {
+		t.Errorf("observed = %q", r.Checks[0].Observed)
+	}
+
+	tab := r.Table()
+	if len(tab.Rows) != 1 {
+		t.Fatalf("table rows = %d, want 1 (cells without columns must not add rows)", len(tab.Rows))
+	}
+	wantRow := []string{"road-ca", "HDRF", "1.234", "fine"}
+	for i, c := range wantRow {
+		if tab.Rows[0][i] != c {
+			t.Errorf("row[%d] = %q, want %q", i, tab.Rows[0][i], c)
+		}
+	}
+	if len(tab.Notes) != 2 || tab.Notes[0] != "info 1" || tab.Notes[1] != "measured 3.5 ok ✓" {
+		t.Errorf("notes = %q", tab.Notes)
+	}
+}
+
+// TestMetricRenderingMatchesSprintf pins the column formatting contract:
+// Metric with prec n renders exactly like fmt.Sprintf("%.nf", v), which is
+// what keeps the refactored tables byte-identical to the seed renders.
+func TestMetricRenderingMatchesSprintf(t *testing.T) {
+	r := NewResult("x.3", "fmt", "a", "b", "c")
+	r.Row(report.Dims{}).
+		Metric("m3", 1.0005, "", 3).
+		Metric("m2", 2.675, "", 2).
+		Metric("m0", 7, "", 0)
+	row := r.Table().Rows[0]
+	want := []string{f3(1.0005), f2(2.675), "7"}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Errorf("col %d = %q, want %q", i, row[i], want[i])
+		}
+	}
+}
+
+func TestResultCSV(t *testing.T) {
+	r := NewResult("x.4", "csv")
+	r.Cell(report.Dims{Dataset: "road-ca", Strategy: "Grid", Parts: 9}, "rf", 1.5, "ratio")
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(CSVHeader); err != nil {
+		t.Fatal(err)
+	}
+	if err := CellsCSV(w, r.ID, r.Cells); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	if lines[1] != "x.4,road-ca,Grid,,,,,9,rf,1.5,ratio" {
+		t.Errorf("csv row = %q", lines[1])
 	}
 }
 
@@ -80,6 +171,49 @@ func TestExperimentIDsCoverEveryPaperArtifact(t *testing.T) {
 		if _, ok := Get(id); !ok {
 			t.Errorf("experiment %s not registered", id)
 		}
+	}
+}
+
+// TestRegistryDuplicatePanic: registering the same ID twice must panic and
+// name both registrants (title and registration site).
+func TestRegistryDuplicatePanic(t *testing.T) {
+	rs := newRegistrySet()
+	rs.add(Experiment{ID: "dup.1", Title: "first"}, "a.go:1")
+	if got, ok := rs.get("dup.1"); !ok || got.Title != "first" {
+		t.Fatalf("get after add = %+v, %v", got, ok)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+		msg, _ := r.(string)
+		for _, want := range []string{"dup.1", "first", "second", "a.go:1", "b.go:2"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic message missing %q: %s", want, msg)
+			}
+		}
+	}()
+	rs.add(Experiment{ID: "dup.1", Title: "second"}, "b.go:2")
+}
+
+// TestRegistrySortedOnce: all() returns ID-sorted copies and reflects
+// later registrations.
+func TestRegistrySortedOnce(t *testing.T) {
+	rs := newRegistrySet()
+	rs.add(Experiment{ID: "b"}, "x")
+	rs.add(Experiment{ID: "a"}, "x")
+	got := rs.all()
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("all() = %+v", got)
+	}
+	got[0].ID = "mutated"
+	if rs.all()[0].ID != "a" {
+		t.Error("all() exposed internal slice to mutation")
+	}
+	rs.add(Experiment{ID: "0"}, "x")
+	if rs.all()[0].ID != "0" {
+		t.Error("all() stale after registration")
 	}
 }
 
@@ -158,18 +292,12 @@ func TestPaperAppsComplete(t *testing.T) {
 func TestTableRenderRulerWidth(t *testing.T) {
 	cases := []*Table{
 		// Widths driven by the headers.
-		func() *Table {
-			tab := &Table{ID: "r.1", Title: "headers widest", Columns: []string{"aaa", "bb", "cccc"}}
-			tab.AddRow("1", "2", "3")
-			return tab
-		}(),
+		{ID: "r.1", Title: "headers widest", Columns: []string{"aaa", "bb", "cccc"},
+			Rows: [][]string{{"1", "2", "3"}}},
 		// Widths driven by a row: the rendered header line is then shorter
 		// than the full table width, but the ruler must still span it.
-		func() *Table {
-			tab := &Table{ID: "r.2", Title: "rows widest", Columns: []string{"a", "b"}}
-			tab.AddRow("333", "4444")
-			return tab
-		}(),
+		{ID: "r.2", Title: "rows widest", Columns: []string{"a", "b"},
+			Rows: [][]string{{"333", "4444"}}},
 	}
 	for _, tab := range cases {
 		var sb strings.Builder
@@ -193,6 +321,142 @@ func TestTableRenderRulerWidth(t *testing.T) {
 		}
 		if len(ruler) != width {
 			t.Errorf("%s: ruler width %d != table width %d:\n%s", tab.ID, len(ruler), width, sb.String())
+		}
+	}
+}
+
+// --- Runner -----------------------------------------------------------
+
+func fakeExperiment(id string, cells int, fail bool) Experiment {
+	return Experiment{
+		ID: id, Title: "fake " + id, Paper: "n/a",
+		Run: func(Config) (*Result, error) {
+			if fail {
+				return nil, errors.New(id + " exploded")
+			}
+			r := NewResult(id, "fake "+id, "dataset", "v")
+			for i := 0; i < cells; i++ {
+				ds := []string{"road-ca", "twitter"}[i%2]
+				r.Row(report.Dims{Dataset: ds, Strategy: "HDRF"}).
+					Col(ds).Metric("m", float64(i), "x", 0)
+			}
+			r.Checkf(true, id+" claim", "ok %s", Mark(true))
+			return r, nil
+		},
+	}
+}
+
+// TestRunnerOrderAndErrors: concurrent execution must preserve input order
+// and capture per-experiment failures without aborting the rest.
+func TestRunnerOrderAndErrors(t *testing.T) {
+	exps := []Experiment{
+		fakeExperiment("z.3", 2, false),
+		fakeExperiment("a.1", 1, true),
+		fakeExperiment("m.2", 4, false),
+	}
+	progressed := map[string]bool{}
+	runner := Runner{Config: Config{Workers: 4}, Progress: func(rr RunResult) {
+		progressed[rr.Experiment.ID] = true // serialized by the Runner
+	}}
+	results := runner.Run(exps)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if len(progressed) != 3 {
+		t.Errorf("progress callback saw %d experiments, want 3", len(progressed))
+	}
+	for i, rr := range results {
+		if rr.Experiment.ID != exps[i].ID {
+			t.Errorf("result %d = %s, want %s (order not preserved)", i, rr.Experiment.ID, exps[i].ID)
+		}
+	}
+	if results[1].Err == nil || results[1].Result != nil {
+		t.Error("failing experiment not captured as error")
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("healthy experiments affected by the failure")
+	}
+
+	rep := runner.Report(results)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if len(rep.Experiments) != 3 || len(rep.Manifest.Experiments) != 3 {
+		t.Fatalf("report sizes: %d experiments, %d manifest entries", len(rep.Experiments), len(rep.Manifest.Experiments))
+	}
+	if rep.Experiments[1].Error == "" || rep.Manifest.Experiments[1].Error == "" {
+		t.Error("experiment error missing from report/manifest")
+	}
+	if got := rep.Manifest.Experiments[2].Cells; got != 4 {
+		t.Errorf("manifest cell count = %d, want 4", got)
+	}
+	if rep.Manifest.Experiments[0].Passed != 1 || rep.Manifest.Experiments[0].Checks != 1 {
+		t.Errorf("manifest check counts = %+v", rep.Manifest.Experiments[0])
+	}
+}
+
+// TestRunnerFilter: the dimension filter prunes report cells but leaves
+// checks and rendering untouched.
+func TestRunnerFilter(t *testing.T) {
+	f, err := report.ParseFilter("dataset=road")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := Runner{Config: Config{Workers: 1}, Filter: f}
+	results := runner.Run([]Experiment{fakeExperiment("f.1", 4, false)})
+	rep := runner.Report(results)
+	if got := len(rep.Experiments[0].Cells); got != 2 {
+		t.Fatalf("filtered cells = %d, want 2 (road-ca only)", got)
+	}
+	for _, c := range rep.Experiments[0].Cells {
+		if c.Dims.Dataset != "road-ca" {
+			t.Errorf("filter leaked %s", c.Dims.Dataset)
+		}
+	}
+	if len(rep.Experiments[0].Checks) != 1 {
+		t.Error("filter must not drop checks")
+	}
+	if rep.Manifest.Filter != "dataset=road" {
+		t.Errorf("manifest filter = %q", rep.Manifest.Filter)
+	}
+	// The manifest audits the full run: its cell count is pre-filter.
+	if got := rep.Manifest.Experiments[0].Cells; got != 4 {
+		t.Errorf("manifest cells = %d, want 4 (unfiltered)", got)
+	}
+}
+
+// TestRunnerDeterministicAcrossWorkers: the same experiments produce
+// cell-identical reports at any concurrency.
+func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
+	ids := []string{"tab1.1", "fig5.8", "abl.lambda"}
+	var exps []Experiment
+	for _, id := range ids {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	cfg := DefaultConfig()
+	var reports []*report.Report
+	for _, workers := range []int{1, 4} {
+		c := cfg
+		c.Workers = workers
+		runner := Runner{Config: c}
+		reports = append(reports, runner.Report(runner.Run(exps)))
+	}
+	for i := range reports[0].Experiments {
+		a, b := reports[0].Experiments[i], reports[1].Experiments[i]
+		if a.Error != "" || b.Error != "" {
+			t.Fatalf("%s errored: %q / %q", a.ID, a.Error, b.Error)
+		}
+		if len(a.Cells) != len(b.Cells) {
+			t.Fatalf("%s: cell counts differ: %d vs %d", a.ID, len(a.Cells), len(b.Cells))
+		}
+		for j := range a.Cells {
+			if a.Cells[j] != b.Cells[j] {
+				t.Errorf("%s: cell %d differs across worker counts: %+v vs %+v", a.ID, j, a.Cells[j], b.Cells[j])
+			}
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"graphpart/internal/engine"
 	"graphpart/internal/graph"
 	"graphpart/internal/partition"
+	"graphpart/internal/report"
 )
 
 func init() {
@@ -51,11 +52,11 @@ func fig59() Experiment {
 		ID:    "fig5.9",
 		Title: "PowerGraph decision tree validated against measured totals",
 		Paper: "the Fig 5.9 tree picks the strategy with the best (or near-best) total job time for every graph class and job length",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			cc := cluster.EC2x25
-			t := &Table{ID: "fig5.9", Title: "tree recommendation vs measured best (PowerGraph, EC2-25)",
-				Columns: []string{"graph", "job", "recommended", "rec-total-s", "best", "best-total-s", "within-10%"}}
-			ok := "✓"
+			r := NewResult("fig5.9", "tree recommendation vs measured best (PowerGraph, EC2-25)",
+				"graph", "job", "recommended", "rec-total-s", "best", "best-total-s", "within-10%")
+			ok := true
 			cases := []struct {
 				ds    string
 				app   string
@@ -85,18 +86,30 @@ func fig59() Experiment {
 						return nil, err
 					}
 					totals[strat] = tt
+					// The rendered row keeps only the recommended and best
+					// totals; every strategy's total goes out as a cell.
+					r.Cell(report.Dims{Dataset: tc.ds, Strategy: strat, App: tc.app,
+						Engine: enginePowerGraph, Cluster: clusterName(cc), Parts: cc.NumParts()},
+						"total-s", tt, "s")
 					if bestT < 0 || tt < bestT {
 						best, bestT = strat, tt
 					}
 				}
 				within := totals[rec] <= bestT*1.10
 				if !within {
-					ok = "✗"
+					ok = false
 				}
-				t.AddRow(tc.ds, tc.app, rec, f3(totals[rec]), best, f3(bestT), fmt.Sprintf("%v", within))
+				r.Row(report.Dims{Dataset: tc.ds, App: tc.app, Engine: enginePowerGraph,
+					Cluster: clusterName(cc), Parts: cc.NumParts()}).
+					Col(tc.ds, tc.app, rec).
+					Colf("%.3f", totals[rec]).
+					Col(best).
+					Colf("%.3f", bestT).
+					Colf("%v", within)
 			}
-			t.Notef("tree recommendation within 10%% of the measured best everywhere: %s", ok)
-			return t, nil
+			r.Checkf(ok, "tree recommendation within 10% of the measured best everywhere",
+				"tree recommendation within 10%% of the measured best everywhere: %s", Mark(ok))
+			return r, nil
 		},
 	}
 }
@@ -106,12 +119,12 @@ func fig93() Experiment {
 		ID:    "fig9.3",
 		Title: "GraphX-all decision tree validated against measured totals",
 		Paper: "the Fig 9.3 tree (CR for short low-degree jobs, HDRF/Oblivious for long ones, 2D for skewed graphs) picks the measured best or near-best",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
 			cc := cluster.GraphXLocal9
-			t := &Table{ID: "fig9.3", Title: "tree recommendation vs measured best (GraphX-all, Local-9)",
-				Columns: []string{"graph", "iterations", "recommended", "rec-total-s", "best", "best-total-s", "within-15%"}}
-			ok := "✓"
+			r := NewResult("fig9.3", "tree recommendation vs measured best (GraphX-all, Local-9)",
+				"graph", "iterations", "recommended", "rec-total-s", "best", "best-total-s", "within-15%")
+			ok := true
 			cases := []struct {
 				ds    string
 				iters int
@@ -145,6 +158,10 @@ func fig93() Experiment {
 					}
 					total := st.PartitionSeconds + st.ComputeSeconds
 					totals[strat] = total
+					r.Cell(report.Dims{Dataset: tc.ds, Strategy: strat, App: "PageRank",
+						Engine: engineGraphX, Cluster: clusterName(cc), Parts: cc.NumParts(),
+						Variant: fmt.Sprintf("iters=%d", tc.iters)},
+						"total-s", total, "s")
 					if bestT < 0 || total < bestT {
 						best, bestT = strat, total
 					}
@@ -159,13 +176,23 @@ func fig93() Experiment {
 				}
 				within := recTotal <= bestT*1.15
 				if !within {
-					ok = "✗"
+					ok = false
 				}
-				t.AddRow(tc.ds, fmt.Sprintf("%d", tc.iters), rec, f3(totals[rec]), best, f3(bestT), fmt.Sprintf("%v", within))
+				r.Row(report.Dims{Dataset: tc.ds, App: "PageRank", Engine: engineGraphX,
+					Cluster: clusterName(cc), Parts: cc.NumParts(),
+					Variant: fmt.Sprintf("iters=%d", tc.iters)}).
+					Col(tc.ds).
+					Colf("%d", tc.iters).
+					Col(rec).
+					Colf("%.3f", totals[rec]).
+					Col(best).
+					Colf("%.3f", bestT).
+					Colf("%v", within)
 			}
-			t.Notef("tree recommendation within 15%% of the measured best everywhere: %s", ok)
-			t.Notef("short jobs are 2 iterations at this scale: the CR-vs-greedy crossover of Fig 9.1 falls around iteration 3 on the scaled road network")
-			return t, nil
+			r.Checkf(ok, "tree recommendation within 15% of the measured best everywhere",
+				"tree recommendation within 15%% of the measured best everywhere: %s", Mark(ok))
+			r.Notef("short jobs are 2 iterations at this scale: the CR-vs-greedy crossover of Fig 9.1 falls around iteration 3 on the scaled road network")
+			return r, nil
 		},
 	}
 }

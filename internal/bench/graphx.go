@@ -10,6 +10,7 @@ import (
 	"graphpart/internal/cluster"
 	"graphpart/internal/engine/graphx"
 	"graphpart/internal/partition"
+	"graphpart/internal/report"
 )
 
 // graphxStrategies are GraphX's native strategies (§7.2) in the paper's
@@ -48,6 +49,12 @@ func runGraphXApp(appName string, a *partition.Assignment, gcfg graphx.Config, m
 	return graphx.Stats{}, fmt.Errorf("bench: unknown GraphX app %q", appName)
 }
 
+// gxDims are the cell dimensions of a GraphX measurement.
+func gxDims(cc cluster.Config, ds, strat, appName string) report.Dims {
+	return report.Dims{Dataset: ds, Strategy: strat, App: appName,
+		Engine: engineGraphX, Cluster: clusterName(cc), Parts: cc.NumParts()}
+}
+
 func init() {
 	register(fig71())
 	register(tab71())
@@ -58,11 +65,11 @@ func fig71() Experiment {
 		ID:    "fig7.1",
 		Title: "PageRank computation times on GraphX (native strategies × graphs, 10 iterations, Local-10)",
 		Paper: "partitioning time is similar for all (stateless hash) strategies and much smaller than computation; Canonical Random competitive on road networks, 2D on skewed graphs",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
 			cc := cluster.GraphXLocal10
-			t := &Table{ID: "fig7.1", Title: "GraphX PageRank compute times",
-				Columns: []string{"graph", "strategy", "partition-s", "compute-s"}}
+			r := NewResult("fig7.1", "GraphX PageRank compute times",
+				"graph", "strategy", "partition-s", "compute-s")
 			partTimes := map[string][]float64{}
 			for _, ds := range graphxDatasets {
 				for _, strat := range graphxStrategies {
@@ -74,15 +81,25 @@ func fig71() Experiment {
 					if err != nil {
 						return nil, err
 					}
-					t.AddRow(ds, strat, f3(st.PartitionSeconds), f3(st.ComputeSeconds))
+					r.Row(gxDims(cc, ds, strat, "PageRank")).Col(ds, strat).
+						Metric("partition-s", st.PartitionSeconds, "s", 3).
+						Metric("compute-s", st.ComputeSeconds, "s", 3)
 					partTimes[ds] = append(partTimes[ds], st.PartitionSeconds)
+					// The table only calls this out on failure, but the
+					// check is recorded either way so a future regression
+					// has a passing baseline to diff against.
+					claim := "partitioning time much smaller than compute for " + ds + "/" + strat
 					if st.PartitionSeconds >= st.ComputeSeconds {
-						t.Notef("%s/%s: partitioning (%.3fs) not ≪ compute (%.3fs) ✗", ds, strat, st.PartitionSeconds, st.ComputeSeconds)
+						r.Checkf(false, claim,
+							"%s/%s: partitioning (%.3fs) not ≪ compute (%.3fs) ✗", ds, strat, st.PartitionSeconds, st.ComputeSeconds)
+					} else {
+						r.Check(true, claim, fmt.Sprintf("%s/%s: partitioning (%.3fs) ≪ compute (%.3fs) ✓",
+							ds, strat, st.PartitionSeconds, st.ComputeSeconds))
 					}
 				}
 			}
 			// All native strategies partition at similar speed (§7.4).
-			ok := "✓"
+			pass := true
 			for ds, times := range partTimes {
 				lo, hi := times[0], times[0]
 				for _, v := range times {
@@ -94,12 +111,13 @@ func fig71() Experiment {
 					}
 				}
 				if hi > lo*1.5 {
-					ok = "✗"
-					t.Notef("%s: partition times spread %.3f–%.3fs exceeds 1.5×", ds, lo, hi)
+					pass = false
+					r.Notef("%s: partition times spread %.3f–%.3fs exceeds 1.5×", ds, lo, hi)
 				}
 			}
-			t.Notef("all native strategies partition at similar speed: %s", ok)
-			return t, nil
+			r.Checkf(pass, "all native strategies partition at similar speed",
+				"all native strategies partition at similar speed: %s", Mark(pass))
+			return r, nil
 		},
 	}
 }
@@ -147,12 +165,12 @@ func tab71() Experiment {
 		ID:    "tab7.1",
 		Title: "Computation-time rankings for GraphX (Table 7.1)",
 		Paper: "Canonical Random fastest or near-fastest on road networks; 2D fastest or near-fastest on skewed graphs; Random (asymmetric) generally last",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
 			cc := cluster.GraphXLocal10
-			t := &Table{ID: "tab7.1", Title: "GraphX strategy rankings (ascending compute time)",
-				Columns: []string{"app", "graph", "ranking", "best"}}
-			roadOK, skewOK := "✓", "✓"
+			r := NewResult("tab7.1", "GraphX strategy rankings (ascending compute time)",
+				"app", "graph", "ranking", "best")
+			roadOK, skewOK := true, true
 			for _, appName := range graphxApps {
 				for _, ds := range graphxDatasets {
 					times := map[string]float64{}
@@ -166,6 +184,9 @@ func tab71() Experiment {
 							return nil, err
 						}
 						times[strat] = st.ComputeSeconds
+						// The rendered row is the ranking; the underlying
+						// measurements go out as cells.
+						r.Cell(gxDims(cc, ds, strat, appName), "compute-s", st.ComputeSeconds, "s")
 					}
 					best, bestT := "", -1.0
 					for n, s := range times {
@@ -173,23 +194,27 @@ func tab71() Experiment {
 							best, bestT = n, s
 						}
 					}
-					t.AddRow(appName, ds, rankingRow(times), best)
+					r.Row(report.Dims{Dataset: ds, App: appName, Engine: engineGraphX,
+						Cluster: clusterName(cc), Parts: cc.NumParts()}).
+						Col(appName, ds, rankingRow(times), best)
 					isRoad := ds == "road-ca" || ds == "road-usa"
 					if isRoad {
 						// CR must be within 10% of the best.
 						if times["CanonicalRandom"] > bestT*1.25 {
-							roadOK = "✗"
+							roadOK = false
 						}
 					} else {
 						if times["2D"] > bestT*1.25 {
-							skewOK = "✗"
+							skewOK = false
 						}
 					}
 				}
 			}
-			t.Notef("Canonical Random fastest/near-fastest on road networks: %s", roadOK)
-			t.Notef("2D fastest/near-fastest on heavy-tailed graphs: %s", skewOK)
-			return t, nil
+			r.Checkf(roadOK, "Canonical Random fastest or near-fastest on road networks",
+				"Canonical Random fastest/near-fastest on road networks: %s", Mark(roadOK))
+			r.Checkf(skewOK, "2D fastest or near-fastest on heavy-tailed graphs",
+				"2D fastest/near-fastest on heavy-tailed graphs: %s", Mark(skewOK))
+			return r, nil
 		},
 	}
 }

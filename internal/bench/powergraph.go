@@ -13,7 +13,23 @@ import (
 	"graphpart/internal/graph"
 	"graphpart/internal/metrics"
 	"graphpart/internal/plot"
+	"graphpart/internal/report"
 )
+
+// Engine dimension labels for result cells.
+const (
+	enginePowerGraph = "PowerGraph"
+	enginePowerLyra  = "PowerLyra"
+	engineGraphX     = "GraphX"
+)
+
+// sweepDims are the cell dimensions of one (dataset × cluster × strategy)
+// sweep row under the given engine — the layout shared by every
+// all-strategies table (figs 5.6/5.7, 6.4/6.5, 8.1/8.2).
+func sweepDims(engine, ds, strat string, cc cluster.Config) report.Dims {
+	return report.Dims{Dataset: ds, Cluster: clusterName(cc), Strategy: strat,
+		Engine: engine, Parts: cc.NumParts()}
+}
 
 // powerGraphStrategies are the measurable PowerGraph strategies (PDS is in
 // Table 1.1 but excluded from measurements for cluster-size reasons,
@@ -31,26 +47,31 @@ type pgPoint struct {
 	peakMem  float64
 }
 
+// pgPointsEntry shares one sweep among concurrent callers (figs 5.3–5.5
+// run in parallel under the Runner; the sweep costs multiple seconds).
+type pgPointsEntry struct {
+	once   sync.Once
+	points []pgPoint
+	err    error
+}
+
 var (
 	pgPointsMu    sync.Mutex
-	pgPointsCache = map[Config][]pgPoint{}
+	pgPointsCache = map[Config]*pgPointsEntry{}
 )
 
 func pgCorrelationPoints(cfg Config) ([]pgPoint, error) {
 	pgPointsMu.Lock()
-	cached, ok := pgPointsCache[cfg]
-	pgPointsMu.Unlock()
-	if ok {
-		return cached, nil
+	e, ok := pgPointsCache[cfg]
+	if !ok {
+		e = &pgPointsEntry{}
+		pgPointsCache[cfg] = e
 	}
-	points, err := pgCorrelationPointsUncached(cfg)
-	if err != nil {
-		return nil, err
-	}
-	pgPointsMu.Lock()
-	pgPointsCache[cfg] = points
 	pgPointsMu.Unlock()
-	return points, nil
+	e.once.Do(func() {
+		e.points, e.err = pgCorrelationPointsUncached(cfg)
+	})
+	return e.points, e.err
 }
 
 func pgCorrelationPointsUncached(cfg Config) ([]pgPoint, error) {
@@ -89,20 +110,20 @@ func pgCorrelationPointsUncached(cfg Config) ([]pgPoint, error) {
 	return points, nil
 }
 
-// correlationTable builds a Fig 5.3/5.4/5.5-style table for one metric and
-// appends the per-application linear-fit verdicts.
-func correlationTable(id, title, metricName string, pick func(pgPoint) float64) Experiment {
+// correlationTable builds a Fig 5.3/5.4/5.5-style result for one metric
+// and appends the per-application linear-fit checks.
+func correlationTable(id, title, metricName, unit string, pick func(pgPoint) float64) Experiment {
 	return Experiment{
 		ID:    id,
 		Title: title,
 		Paper: metricName + " is an increasing linear function of replication factor for every application (PowerGraph, EC2-25, UK-web)",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			points, err := pgCorrelationPoints(cfg)
 			if err != nil {
 				return nil, err
 			}
-			t := &Table{ID: id, Title: title,
-				Columns: []string{"app", "strategy", "replication-factor", metricName}}
+			cc := cluster.EC2x25
+			r := NewResult(id, title, "app", "strategy", "replication-factor", metricName)
 			byApp := map[string][]pgPoint{}
 			var apps []string
 			for _, p := range points {
@@ -113,7 +134,11 @@ func correlationTable(id, title, metricName string, pick func(pgPoint) float64) 
 			}
 			for _, a := range apps {
 				for _, p := range byApp[a] {
-					t.AddRow(p.app, p.strategy, f3(p.rf), f3(pick(p)))
+					r.Row(report.Dims{Dataset: "uk-web", Strategy: p.strategy, App: p.app,
+						Engine: enginePowerGraph, Cluster: clusterName(cc), Parts: cc.NumParts()}).
+						Col(p.app, p.strategy).
+						Metric("replication-factor", p.rf, "ratio", 3).
+						Metric(metricName, pick(p), unit, 3)
 				}
 			}
 			for _, a := range apps {
@@ -128,11 +153,16 @@ func correlationTable(id, title, metricName string, pick func(pgPoint) float64) 
 				if err != nil {
 					continue
 				}
+				fd := report.Dims{Dataset: "uk-web", App: a, Engine: enginePowerGraph, Cluster: clusterName(cc)}
+				r.Cell(fd, "fit-slope", fit.Slope, "")
+				r.Cell(fd, "fit-r2", fit.R2, "")
+				pass := fit.Slope > 0 && fit.R2 >= 0.7
 				verdict := "LINEAR-INCREASING ✓"
-				if fit.Slope <= 0 || fit.R2 < 0.7 {
+				if !pass {
 					verdict = "correlation weak ✗"
 				}
-				t.Notef("%s: slope=%.4g R²=%.3f → %s", a, fit.Slope, fit.R2, verdict)
+				r.Checkf(pass, metricName+" increases linearly with replication factor for "+a,
+					"%s: slope=%.4g R²=%.3f → %s", a, fit.Slope, fit.R2, verdict)
 			}
 			// Draw the PageRank(10) panel as the figure.
 			var fig strings.Builder
@@ -149,10 +179,10 @@ func correlationTable(id, title, metricName string, pick func(pgPoint) float64) 
 					XLabel: "replication factor", YLabel: metricName,
 					Points: figPts, Trend: &trend}
 				if err := sc.Render(&fig); err == nil {
-					t.Figure = fig.String()
+					r.Figure = fig.String()
 				}
 			}
-			return t, nil
+			return r, nil
 		},
 	}
 }
@@ -160,13 +190,13 @@ func correlationTable(id, title, metricName string, pick func(pgPoint) float64) 
 func init() {
 	register(correlationTable("fig5.3",
 		"Incoming network IO vs. replication factor (PowerGraph, EC2-25, UK-web)",
-		"net-in-GB/machine", func(p pgPoint) float64 { return p.netGB }))
+		"net-in-GB/machine", "GB", func(p pgPoint) float64 { return p.netGB }))
 	register(correlationTable("fig5.4",
 		"Computation time vs. replication factor (PowerGraph, EC2-25, UK-web)",
-		"compute-seconds", func(p pgPoint) float64 { return p.compute }))
+		"compute-seconds", "s", func(p pgPoint) float64 { return p.compute }))
 	register(correlationTable("fig5.5",
 		"Peak memory vs. replication factor (PowerGraph, EC2-25, UK-web)",
-		"peak-mem-GB/machine", func(p pgPoint) float64 { return p.peakMem }))
+		"peak-mem-GB/machine", "GB", func(p pgPoint) float64 { return p.peakMem }))
 	register(fig56())
 	register(fig57())
 	register(fig58())
@@ -184,9 +214,9 @@ func fig56() Experiment {
 		ID:    "fig5.6",
 		Title: "Replication factors in PowerGraph (all strategies × graphs × cluster sizes)",
 		Paper: "HDRF/Oblivious lowest on road networks and uk-web; Grid lowest on LiveJournal/Twitter; Random always highest",
-		Run: func(cfg Config) (*Table, error) {
-			t := &Table{ID: "fig5.6", Title: "Replication factors in PowerGraph",
-				Columns: []string{"graph", "cluster", "strategy", "replication-factor"}}
+		Run: func(cfg Config) (*Result, error) {
+			r := NewResult("fig5.6", "Replication factors in PowerGraph",
+				"graph", "cluster", "strategy", "replication-factor")
 			type best struct {
 				strat string
 				rf    float64
@@ -200,7 +230,9 @@ func fig56() Experiment {
 							return nil, err
 						}
 						rf := a.ReplicationFactor()
-						t.AddRow(ds, clusterName(cc), strat, f3(rf))
+						r.Row(sweepDims(enginePowerGraph, ds, strat, cc)).
+							Col(ds, clusterName(cc), strat).
+							Metric("replication-factor", rf, "ratio", 3)
 						key := ds + "/" + clusterName(cc)
 						if b, ok := bests[key]; !ok || rf < b.rf {
 							bests[key] = best{strat, rf}
@@ -210,9 +242,9 @@ func fig56() Experiment {
 			}
 			for _, ds := range pgDatasets {
 				b := bests[ds+"/"+clusterName(cluster.EC2x25)]
-				t.Notef("%s (EC2-25): best strategy %s (RF %.2f)", ds, b.strat, b.rf)
+				r.Notef("%s (EC2-25): best strategy %s (RF %.2f)", ds, b.strat, b.rf)
 			}
-			return t, nil
+			return r, nil
 		},
 	}
 }
@@ -222,10 +254,10 @@ func fig57() Experiment {
 		ID:    "fig5.7",
 		Title: "Ingress time in PowerGraph (all strategies × graphs × cluster sizes)",
 		Paper: "hash-based partitioners are faster on power-law graphs; Grid usually fastest, then Random; all strategies similar on road networks",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
-			t := &Table{ID: "fig5.7", Title: "Ingress time (s) in PowerGraph",
-				Columns: []string{"graph", "cluster", "strategy", "ingress-seconds"}}
+			r := NewResult("fig5.7", "Ingress time (s) in PowerGraph",
+				"graph", "cluster", "strategy", "ingress-seconds")
 			ing := map[string]float64{}
 			for _, ds := range pgDatasets {
 				for _, cc := range pgClusters {
@@ -239,7 +271,9 @@ func fig57() Experiment {
 							return nil, err
 						}
 						st := cluster.Ingress(a, s, cc, model)
-						t.AddRow(ds, clusterName(cc), strat, f3(st.Seconds))
+						r.Row(sweepDims(enginePowerGraph, ds, strat, cc)).
+							Col(ds, clusterName(cc), strat).
+							Metric("ingress-seconds", st.Seconds, "s", 3)
 						ing[ds+"/"+clusterName(cc)+"/"+strat] = st.Seconds
 					}
 				}
@@ -248,13 +282,11 @@ func fig57() Experiment {
 			for _, ds := range []string{"twitter", "uk-web"} {
 				grid := ing[ds+"/EC2-25/Grid"]
 				hdrf := ing[ds+"/EC2-25/HDRF"]
-				verdict := "✓"
-				if grid >= hdrf {
-					verdict = "✗"
-				}
-				t.Notef("%s: Grid ingress %.2fs vs HDRF %.2fs (hash faster on skewed graphs %s)", ds, grid, hdrf, verdict)
+				pass := grid < hdrf
+				r.Checkf(pass, "hash-based ingress faster than greedy on the skewed graph "+ds,
+					"%s: Grid ingress %.2fs vs HDRF %.2fs (hash faster on skewed graphs %s)", ds, grid, hdrf, Mark(pass))
 			}
-			return t, nil
+			return r, nil
 		},
 	}
 }
@@ -264,9 +296,9 @@ func fig58() Experiment {
 		ID:    "fig5.8",
 		Title: "In-degree distributions of the three skewed graphs",
 		Paper: "LiveJournal and Twitter sit below the power-law regression line at low degrees (deficit); uk-web tracks the line",
-		Run: func(cfg Config) (*Table, error) {
-			t := &Table{ID: "fig5.8", Title: "In-degree distribution + power-law fit",
-				Columns: []string{"graph", "alpha", "R2", "low-degree-ratio", "max-in-degree"}}
+		Run: func(cfg Config) (*Result, error) {
+			r := NewResult("fig5.8", "In-degree distribution + power-law fit",
+				"graph", "alpha", "R2", "low-degree-ratio", "max-in-degree")
 			for _, ds := range []string{"livejournal", "twitter", "uk-web"} {
 				g, err := loadGraph(cfg, ds)
 				if err != nil {
@@ -276,16 +308,19 @@ func fig58() Experiment {
 				// total degree (see graph.Classify), reported via the
 				// dataset class check below.
 				fit := graph.FitPowerLaw(g.InDegreeHistogram())
-				t.AddRow(ds, f3(fit.Alpha), f3(fit.R2), f3(fit.LowDegreeRatio), f3(float64(g.MaxInDegree())))
+				r.Row(report.Dims{Dataset: ds}).
+					Col(ds).
+					Metric("alpha", fit.Alpha, "", 3).
+					Metric("R2", fit.R2, "", 3).
+					Metric("low-degree-ratio", fit.LowDegreeRatio, "ratio", 3).
+					Metric("max-in-degree", float64(g.MaxInDegree()), "edges", 3)
 				info, _ := datasets.Describe(ds)
 				cls := graph.Classify(g)
-				mark := "✓"
-				if cls.Class != info.Class {
-					mark = "✗"
-				}
-				t.Notef("%s: classified %s (paper: %s) %s", ds, cls.Class, info.Class, mark)
+				pass := cls.Class == info.Class
+				r.Checkf(pass, "degree classification of "+ds+" matches the paper",
+					"%s: classified %s (paper: %s) %s", ds, cls.Class, info.Class, Mark(pass))
 			}
-			return t, nil
+			return r, nil
 		},
 	}
 }
@@ -295,11 +330,11 @@ func tab51() Experiment {
 		ID:    "tab5.1",
 		Title: "Grid vs HDRF: ingress and compute for PageRank(C) and K-core (PowerGraph, EC2-25, UK-web)",
 		Paper: "Grid wins total time for short-running PageRank (faster ingress); HDRF wins for long-running K-core (faster compute)",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
 			cc := cluster.EC2x25
-			t := &Table{ID: "tab5.1", Title: "Grid vs HDRF, ingress vs compute",
-				Columns: []string{"strategy", "app", "ingress-s", "compute-s", "total-s"}}
+			r := NewResult("tab5.1", "Grid vs HDRF, ingress vs compute",
+				"strategy", "app", "ingress-s", "compute-s", "total-s")
 			totals := map[string]float64{}
 			for _, strat := range []string{"Grid", "HDRF"} {
 				a, err := assignment(cfg, "uk-web", strat, cc.NumParts())
@@ -320,22 +355,24 @@ func tab51() Experiment {
 						return nil, err
 					}
 					total := ing + stats.ComputeSeconds
-					t.AddRow(strat, spec.name, f2(ing), f2(stats.ComputeSeconds), f2(total))
+					r.Row(report.Dims{Dataset: "uk-web", Strategy: strat, App: spec.name,
+						Engine: enginePowerGraph, Cluster: clusterName(cc), Parts: cc.NumParts()}).
+						Col(strat, spec.name).
+						Metric("ingress-s", ing, "s", 2).
+						Metric("compute-s", stats.ComputeSeconds, "s", 2).
+						Metric("total-s", total, "s", 2)
 					totals[strat+"/"+spec.name] = total
 				}
 			}
-			prVerdict, kcVerdict := "✓", "✓"
-			if !(totals["Grid/PageRank(C)"] < totals["HDRF/PageRank(C)"]) {
-				prVerdict = "✗"
-			}
-			if !(totals["HDRF/K-Core"] < totals["Grid/K-Core"]) {
-				kcVerdict = "✗"
-			}
-			t.Notef("short job (PageRank): Grid total %.2fs vs HDRF %.2fs — Grid wins %s",
-				totals["Grid/PageRank(C)"], totals["HDRF/PageRank(C)"], prVerdict)
-			t.Notef("long job (K-core): HDRF total %.2fs vs Grid %.2fs — HDRF wins %s",
-				totals["HDRF/K-Core"], totals["Grid/K-Core"], kcVerdict)
-			return t, nil
+			prPass := totals["Grid/PageRank(C)"] < totals["HDRF/PageRank(C)"]
+			kcPass := totals["HDRF/K-Core"] < totals["Grid/K-Core"]
+			r.Checkf(prPass, "Grid wins total time for the short PageRank job",
+				"short job (PageRank): Grid total %.2fs vs HDRF %.2fs — Grid wins %s",
+				totals["Grid/PageRank(C)"], totals["HDRF/PageRank(C)"], Mark(prPass))
+			r.Checkf(kcPass, "HDRF wins total time for the long K-core job",
+				"long job (K-core): HDRF total %.2fs vs Grid %.2fs — HDRF wins %s",
+				totals["HDRF/K-Core"], totals["Grid/K-Core"], Mark(kcPass))
+			return r, nil
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"graphpart/internal/cluster"
 	"graphpart/internal/engine"
 	"graphpart/internal/metrics"
+	"graphpart/internal/report"
 )
 
 // powerLyraStrategies are PowerLyra's measurable native strategies (§6.2;
@@ -57,6 +58,12 @@ func plSweep(cfg Config, appName string) ([]plPoint, error) {
 	return out, nil
 }
 
+// plDims are the cell dimensions of the chapter-6 uk-web/EC2-25 sweeps.
+func plDims(strategy, app string) report.Dims {
+	return report.Dims{Dataset: "uk-web", Strategy: strategy, App: app,
+		Engine: enginePowerLyra, Cluster: "EC2-25", Parts: cluster.EC2x25.NumParts()}
+}
+
 // fitExcludingHybrids fits the RF→metric line through the non-hybrid
 // points, as the paper's Figs 6.1/6.2 do.
 func fitExcludingHybrids(points []plPoint, pick func(plPoint) float64) (metrics.LinFit, error) {
@@ -85,7 +92,7 @@ func fig61() Experiment {
 		ID:    "fig6.1",
 		Title: "Network IO vs. replication factor under the hybrid engine (PowerLyra, EC2-25, UK-web, PageRank)",
 		Paper: "Hybrid and Hybrid-Ginger use less network than their replication factor predicts when running natural applications (they sit below the regression line)",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			points, err := plSweep(cfg, "PageRank(10)")
 			if err != nil {
 				return nil, err
@@ -94,29 +101,32 @@ func fig61() Experiment {
 			if err != nil {
 				return nil, err
 			}
-			t := &Table{ID: "fig6.1", Title: "Net-in GB vs RF, PageRank under PowerLyra",
-				Columns: []string{"strategy", "replication-factor", "net-in-GB", "vs-trend"}}
+			r := NewResult("fig6.1", "Net-in GB vs RF, PageRank under PowerLyra",
+				"strategy", "replication-factor", "net-in-GB", "vs-trend")
 			for _, p := range points {
 				resid := fit.Residual(p.rf, p.netGB)
 				pos := "below line"
 				if resid > 0 {
 					pos = "above line"
 				}
-				t.AddRow(p.strategy, f3(p.rf), f3(p.netGB), pos)
+				d := plDims(p.strategy, "PageRank(10)")
+				r.Row(d).Col(p.strategy).
+					Metric("replication-factor", p.rf, "ratio", 3).
+					Metric("net-in-GB", p.netGB, "GB", 3).
+					Col(pos).
+					Value("trend-residual-GB", resid, "GB")
 			}
 			for _, p := range points {
 				if !hybridFamily(p.strategy) {
 					continue
 				}
-				verdict := "✓"
-				if fit.Residual(p.rf, p.netGB) >= 0 {
-					verdict = "✗"
-				}
-				t.Notef("%s below the non-hybrid trend for natural PageRank: %s (residual %.4g GB)",
-					p.strategy, verdict, fit.Residual(p.rf, p.netGB))
+				pass := fit.Residual(p.rf, p.netGB) < 0
+				r.Checkf(pass, p.strategy+" sits below the non-hybrid network trend for natural PageRank",
+					"%s below the non-hybrid trend for natural PageRank: %s (residual %.4g GB)",
+					p.strategy, Mark(pass), fit.Residual(p.rf, p.netGB))
 			}
-			t.Notef("non-hybrid trend: slope=%.4g R²=%.3f", fit.Slope, fit.R2)
-			return t, nil
+			r.Notef("non-hybrid trend: slope=%.4g R²=%.3f", fit.Slope, fit.R2)
+			return r, nil
 		},
 	}
 }
@@ -126,7 +136,7 @@ func fig62() Experiment {
 		ID:    "fig6.2",
 		Title: "Peak memory vs. replication factor (PowerLyra, EC2-25, UK-web)",
 		Paper: "Hybrid and Hybrid-Ginger sit above the memory trend (multi-pass ingress overheads); H-Ginger higher than Hybrid",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			points, err := plSweep(cfg, "PageRank(C)")
 			if err != nil {
 				return nil, err
@@ -135,8 +145,8 @@ func fig62() Experiment {
 			if err != nil {
 				return nil, err
 			}
-			t := &Table{ID: "fig6.2", Title: "Peak memory GB vs RF under PowerLyra",
-				Columns: []string{"strategy", "replication-factor", "peak-mem-GB", "vs-trend"}}
+			r := NewResult("fig6.2", "Peak memory GB vs RF under PowerLyra",
+				"strategy", "replication-factor", "peak-mem-GB", "vs-trend")
 			var hybridMem, gingerMem float64
 			for _, p := range points {
 				resid := fit.Residual(p.rf, p.peakMem)
@@ -144,7 +154,10 @@ func fig62() Experiment {
 				if resid > 0 {
 					pos = "above line"
 				}
-				t.AddRow(p.strategy, f3(p.rf), f3(p.peakMem), pos)
+				r.Row(plDims(p.strategy, "PageRank(C)")).Col(p.strategy).
+					Metric("replication-factor", p.rf, "ratio", 3).
+					Metric("peak-mem-GB", p.peakMem, "GB", 3).
+					Col(pos)
 				switch p.strategy {
 				case "Hybrid":
 					hybridMem = p.peakMem
@@ -156,18 +169,14 @@ func fig62() Experiment {
 				if !hybridFamily(p.strategy) {
 					continue
 				}
-				verdict := "✓"
-				if fit.Residual(p.rf, p.peakMem) <= 0 {
-					verdict = "✗"
-				}
-				t.Notef("%s above the memory trend: %s", p.strategy, verdict)
+				pass := fit.Residual(p.rf, p.peakMem) > 0
+				r.Checkf(pass, p.strategy+" sits above the memory trend",
+					"%s above the memory trend: %s", p.strategy, Mark(pass))
 			}
-			verdict := "✓"
-			if gingerMem <= hybridMem {
-				verdict = "✗"
-			}
-			t.Notef("H-Ginger (%.3f GB) has higher peak memory than Hybrid (%.3f GB): %s", gingerMem, hybridMem, verdict)
-			return t, nil
+			pass := gingerMem > hybridMem
+			r.Checkf(pass, "H-Ginger peaks higher than Hybrid",
+				"H-Ginger (%.3f GB) has higher peak memory than Hybrid (%.3f GB): %s", gingerMem, hybridMem, Mark(pass))
+			return r, nil
 		},
 	}
 }
@@ -177,11 +186,11 @@ func fig63() Experiment {
 		ID:    "fig6.3",
 		Title: "Memory utilization over time (PowerLyra, EC2-25, UK-web, PageRank)",
 		Paper: "peak memory is reached during the ingress phase for every partitioning strategy; the black dot (end of ingress) comes after the peak",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
 			cc := cluster.EC2x25
-			t := &Table{ID: "fig6.3", Title: "Memory timeline (per-machine GB)",
-				Columns: []string{"strategy", "phase", "t-start-s", "t-end-s", "mem-GB"}}
+			r := NewResult("fig6.3", "Memory timeline (per-machine GB)",
+				"strategy", "phase", "t-start-s", "t-end-s", "mem-GB")
 			for _, strat := range powerLyraStrategies {
 				a, err := assignment(cfg, "uk-web", strat, cc.NumParts())
 				if err != nil {
@@ -204,21 +213,29 @@ func fig63() Experiment {
 				t0 := 0.0
 				ingressPeak := 0.0
 				for _, ph := range ing.Phases {
-					t.AddRow(strat, "ingress:"+ph.Name, f3(t0), f3(t0+ph.Seconds), f3(ph.MemPerMachine/1e9))
+					r.Row(report.Dims{Dataset: "uk-web", Strategy: strat, Engine: enginePowerLyra,
+						Cluster: clusterName(cc), Parts: cc.NumParts(), Variant: "ingress:" + ph.Name}).
+						Col(strat, "ingress:"+ph.Name).
+						Metric("t-start-s", t0, "s", 3).
+						Metric("t-end-s", t0+ph.Seconds, "s", 3).
+						Metric("mem-GB", ph.MemPerMachine/1e9, "GB", 3)
 					t0 += ph.Seconds
 					if ph.MemPerMachine > ingressPeak {
 						ingressPeak = ph.MemPerMachine
 					}
 				}
-				t.AddRow(strat, "compute", f3(t0), f3(t0+stats.ComputeSeconds), f3(stats.PeakMemGB))
-				verdict := "✓"
-				if ingressPeak/1e9 < stats.PeakMemGB {
-					verdict = "✗"
-				}
-				t.Notef("%s: peak reached during ingress (%.3f GB ≥ compute %.3f GB) %s",
-					strat, ingressPeak/1e9, stats.PeakMemGB, verdict)
+				r.Row(report.Dims{Dataset: "uk-web", Strategy: strat, App: "PageRank(C)",
+					Engine: enginePowerLyra, Cluster: clusterName(cc), Parts: cc.NumParts(), Variant: "compute"}).
+					Col(strat, "compute").
+					Metric("t-start-s", t0, "s", 3).
+					Metric("t-end-s", t0+stats.ComputeSeconds, "s", 3).
+					Metric("mem-GB", stats.PeakMemGB, "GB", 3)
+				pass := ingressPeak/1e9 >= stats.PeakMemGB
+				r.Checkf(pass, "peak memory is reached during ingress for "+strat,
+					"%s: peak reached during ingress (%.3f GB ≥ compute %.3f GB) %s",
+					strat, ingressPeak/1e9, stats.PeakMemGB, Mark(pass))
 			}
-			return t, nil
+			return r, nil
 		},
 	}
 }
@@ -228,10 +245,10 @@ func fig64() Experiment {
 		ID:    "fig6.4",
 		Title: "Ingress times for PowerLyra (all strategies × graphs × clusters)",
 		Paper: "H-Ginger has significantly slower ingress than every other strategy; Hybrid is slower than the single-pass hashes",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
-			t := &Table{ID: "fig6.4", Title: "PowerLyra ingress times (s)",
-				Columns: []string{"graph", "cluster", "strategy", "ingress-seconds"}}
+			r := NewResult("fig6.4", "PowerLyra ingress times (s)",
+				"graph", "cluster", "strategy", "ingress-seconds")
 			times := map[string]float64{}
 			for _, ds := range pgDatasets {
 				for _, cc := range pgClusters {
@@ -245,20 +262,23 @@ func fig64() Experiment {
 							return nil, err
 						}
 						st := cluster.Ingress(a, s, cc, model)
-						t.AddRow(ds, clusterName(cc), strat, f3(st.Seconds))
+						r.Row(sweepDims(enginePowerLyra, ds, strat, cc)).
+							Col(ds, clusterName(cc), strat).
+							Metric("ingress-seconds", st.Seconds, "s", 3)
 						times[ds+"/"+clusterName(cc)+"/"+strat] = st.Seconds
 					}
 				}
 			}
-			ok := "✓"
+			pass := true
 			for _, ds := range pgDatasets {
 				key := ds + "/EC2-25/"
 				if times[key+"H-Ginger"] <= times[key+"Hybrid"] {
-					ok = "✗"
+					pass = false
 				}
 			}
-			t.Notef("H-Ginger slower than Hybrid on every graph (EC2-25): %s", ok)
-			return t, nil
+			r.Checkf(pass, "H-Ginger ingress slower than Hybrid on every graph",
+				"H-Ginger slower than Hybrid on every graph (EC2-25): %s", Mark(pass))
+			return r, nil
 		},
 	}
 }
@@ -268,9 +288,9 @@ func fig65() Experiment {
 		ID:    "fig6.5",
 		Title: "Replication factors for PowerLyra",
 		Paper: "Oblivious best on road networks and uk-web; Grid and Hybrid both low on LiveJournal/Twitter; H-Ginger only slightly better than Hybrid; Random worst",
-		Run: func(cfg Config) (*Table, error) {
-			t := &Table{ID: "fig6.5", Title: "PowerLyra replication factors",
-				Columns: []string{"graph", "cluster", "strategy", "replication-factor"}}
+		Run: func(cfg Config) (*Result, error) {
+			r := NewResult("fig6.5", "PowerLyra replication factors",
+				"graph", "cluster", "strategy", "replication-factor")
 			rfs := map[string]float64{}
 			for _, ds := range pgDatasets {
 				for _, cc := range pgClusters {
@@ -279,28 +299,32 @@ func fig65() Experiment {
 						if err != nil {
 							return nil, err
 						}
-						t.AddRow(ds, clusterName(cc), strat, f3(a.ReplicationFactor()))
+						r.Row(sweepDims(enginePowerLyra, ds, strat, cc)).
+							Col(ds, clusterName(cc), strat).
+							Metric("replication-factor", a.ReplicationFactor(), "ratio", 3)
 						rfs[ds+"/"+clusterName(cc)+"/"+strat] = a.ReplicationFactor()
 					}
 				}
 			}
-			obl := "✓"
+			obl := true
 			for _, ds := range []string{"road-ca", "road-usa", "uk-web"} {
 				key := ds + "/EC2-25/"
 				if rfs[key+"Oblivious"] >= rfs[key+"Random"] || rfs[key+"Oblivious"] >= rfs[key+"Grid"] {
-					obl = "✗"
+					obl = false
 				}
 			}
-			t.Notef("Oblivious lowest-family RF on road networks and uk-web: %s", obl)
-			gin := "✓"
+			r.Checkf(obl, "Oblivious has the lowest-family RF on road networks and uk-web",
+				"Oblivious lowest-family RF on road networks and uk-web: %s", Mark(obl))
+			gin := true
 			for _, ds := range pgDatasets {
 				key := ds + "/EC2-25/"
 				if rfs[key+"H-Ginger"] > rfs[key+"Hybrid"]*1.05 {
-					gin = "✗"
+					gin = false
 				}
 			}
-			t.Notef("H-Ginger ≤ ~Hybrid RF everywhere (only slight improvement): %s", gin)
-			return t, nil
+			r.Checkf(gin, "H-Ginger RF at most marginally above Hybrid's everywhere",
+				"H-Ginger ≤ ~Hybrid RF everywhere (only slight improvement): %s", Mark(gin))
+			return r, nil
 		},
 	}
 }
@@ -310,11 +334,11 @@ func fig66() Experiment {
 		ID:    "fig6.6",
 		Title: "PowerLyra decision tree validation (natural apps prefer Hybrid)",
 		Paper: "pairing Hybrid with a natural application (PageRank) beats pairing it with a non-natural one relative to Oblivious; low-degree graphs still prefer Oblivious",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*Result, error) {
 			model := cfg.model()
 			cc := cluster.EC2x25
-			t := &Table{ID: "fig6.6", Title: "Hybrid synergy with natural applications",
-				Columns: []string{"app", "natural", "strategy", "net-in-GB", "compute-s"}}
+			r := NewResult("fig6.6", "Hybrid synergy with natural applications",
+				"app", "natural", "strategy", "net-in-GB", "compute-s")
 			type key struct{ app, strat string }
 			net := map[key]float64{}
 			for _, strat := range []string{"Oblivious", "Hybrid"} {
@@ -334,7 +358,9 @@ func fig66() Experiment {
 					if spec.natural {
 						nat = "yes"
 					}
-					t.AddRow(spec.name, nat, strat, f3(stats.AvgNetInGB), f3(stats.ComputeSeconds))
+					r.Row(plDims(strat, spec.name)).Col(spec.name, nat, strat).
+						Metric("net-in-GB", stats.AvgNetInGB, "GB", 3).
+						Metric("compute-s", stats.ComputeSeconds, "s", 3)
 					net[key{spec.name, strat}] = stats.AvgNetInGB
 				}
 			}
@@ -342,12 +368,10 @@ func fig66() Experiment {
 			// for the natural app than the non-natural one.
 			prRatio := net[key{"PageRank(10)", "Hybrid"}] / net[key{"PageRank(10)", "Oblivious"}]
 			wccRatio := net[key{"WCC", "Hybrid"}] / net[key{"WCC", "Oblivious"}]
-			verdict := "✓"
-			if prRatio >= wccRatio {
-				verdict = "✗"
-			}
-			t.Notef("Hybrid/Oblivious net ratio: PageRank %.3f vs WCC %.3f (natural synergy) %s", prRatio, wccRatio, verdict)
-			return t, nil
+			pass := prRatio < wccRatio
+			r.Checkf(pass, "Hybrid's network advantage is larger for the natural app",
+				"Hybrid/Oblivious net ratio: PageRank %.3f vs WCC %.3f (natural synergy) %s", prRatio, wccRatio, Mark(pass))
+			return r, nil
 		},
 	}
 }

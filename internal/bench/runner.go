@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"graphpart/internal/report"
+)
+
+// RunResult pairs an experiment with its typed outcome.
+type RunResult struct {
+	Experiment Experiment
+	Result     *Result // nil when Err != nil
+	Seconds    float64
+	Err        error
+}
+
+// Runner executes selected experiments concurrently and assembles the
+// typed JSON report. Concurrency is safe because every experiment is
+// deterministic and the shared caches (assignments, loaded datasets,
+// per-config sweeps) are mutex-guarded with once-per-key computation:
+// interleaving changes wall-clock only, never a cell value.
+//
+// Config.Workers bounds each layer independently — up to Workers
+// experiments in flight, each running its engine supersteps and ingress
+// on up to Workers goroutines. Goroutines beyond GOMAXPROCS time-slice
+// rather than add OS-level parallelism, so the layers need no shared
+// budget; the bound exists to keep memory in check, not the CPU.
+type Runner struct {
+	Config Config
+	// Filter optionally restricts which cells make it into the report's
+	// experiment entries. Checks and the manifest always cover the full
+	// run: ManifestEntry.Cells counts every emitted cell, so coverage
+	// stays auditable even when the filter prunes everything.
+	Filter report.Filter
+	// Progress, when set, is called as each experiment finishes — in
+	// completion order, serialized — so long concurrent runs can report
+	// liveness before the in-order rendering starts.
+	Progress func(RunResult)
+}
+
+func (r Runner) workers() int {
+	if w := r.Config.Workers; w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes exps on Config.Workers goroutines (≤0 = GOMAXPROCS) and
+// returns the results in input order.
+func (r Runner) Run(exps []Experiment) []RunResult {
+	out := make([]RunResult, len(exps))
+	sem := make(chan struct{}, r.workers())
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res, err := e.Run(r.Config)
+			out[i] = RunResult{Experiment: e, Result: res, Seconds: time.Since(start).Seconds(), Err: err}
+			if r.Progress != nil {
+				progressMu.Lock()
+				r.Progress(out[i])
+				progressMu.Unlock()
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	return out
+}
+
+// Report assembles the machine-readable report: the run manifest (config,
+// filter, per-experiment timings and cell counts) plus every experiment's
+// cells (filtered) and checks. TotalSeconds sums per-experiment runtimes —
+// compute time, not wall-clock, under concurrency.
+func (r Runner) Report(results []RunResult) *report.Report {
+	rep := &report.Report{
+		SchemaVersion: report.SchemaVersion,
+		Tool:          "benchrunner",
+		Experiments:   []report.Experiment{},
+	}
+	rep.Manifest.Config = r.Config.Info()
+	rep.Manifest.Filter = r.Filter.String()
+	for _, rr := range results {
+		entry := report.ManifestEntry{ID: rr.Experiment.ID, Seconds: rr.Seconds}
+		exp := report.Experiment{
+			ID:      rr.Experiment.ID,
+			Title:   rr.Experiment.Title,
+			Paper:   rr.Experiment.Paper,
+			Cells:   []report.Cell{},
+			Seconds: rr.Seconds,
+		}
+		if rr.Err != nil {
+			entry.Error = rr.Err.Error()
+			exp.Error = rr.Err.Error()
+		} else {
+			for _, c := range rr.Result.Cells {
+				if r.Filter.Match(c) {
+					exp.Cells = append(exp.Cells, c)
+				}
+			}
+			exp.Checks = rr.Result.Checks
+			entry.Cells = len(rr.Result.Cells)
+			entry.Checks = len(exp.Checks)
+			for _, ch := range exp.Checks {
+				if ch.Pass {
+					entry.Passed++
+				}
+			}
+		}
+		rep.Manifest.Experiments = append(rep.Manifest.Experiments, entry)
+		rep.Manifest.TotalSeconds += rr.Seconds
+		rep.Experiments = append(rep.Experiments, exp)
+	}
+	return rep
+}

@@ -97,9 +97,18 @@ type cacheKey struct {
 	scale int
 }
 
+// cacheEntry builds each graph once per key: concurrent loaders of the
+// same dataset share one build, and a cached road-ca never waits behind
+// an in-progress uk-web build (the lock only guards the map, not the
+// multi-second generator + CSR construction).
+type cacheEntry struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
 var (
 	cacheMu sync.Mutex
-	cache   = map[cacheKey]*graph.Graph{}
+	cache   = map[cacheKey]*cacheEntry{}
 )
 
 // Load builds (or returns the cached) stand-in graph for name at the given
@@ -115,14 +124,18 @@ func Load(name string, scale int) (*graph.Graph, error) {
 	}
 	key := cacheKey{name, scale}
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if g, ok := cache[key]; ok {
-		return g, nil
+	e, ok := cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		cache[key] = e
 	}
-	g := info.build(scale)
-	g.EnsureCSR()
-	cache[key] = g
-	return g, nil
+	cacheMu.Unlock()
+	e.once.Do(func() {
+		g := info.build(scale)
+		g.EnsureCSR()
+		e.g = g
+	})
+	return e.g, nil
 }
 
 // MustLoad is Load that panics on unknown names; for tests and examples.

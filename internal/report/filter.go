@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Filter selects cells by dimension: each key maps to the accepted values
+// (OR within a key, AND across keys). Matching is case-insensitive
+// substring, so "dataset=road" selects both road-ca and road-usa.
+type Filter map[string][]string
+
+// filterKeys are the accepted filter dimensions; "metric" matches the
+// cell's metric name rather than a Dims field.
+var filterKeys = map[string]bool{
+	"dataset": true, "strategy": true, "app": true, "engine": true,
+	"cluster": true, "variant": true, "parts": true, "metric": true,
+}
+
+// ParseFilter parses "dataset=road,strategy=HDRF" into a Filter. Repeating
+// a key ("dataset=road,dataset=twitter") ORs its values.
+func ParseFilter(s string) (Filter, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	f := Filter{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("report: bad filter term %q (want key=value)", part)
+		}
+		if !filterKeys[k] {
+			return nil, fmt.Errorf("report: unknown filter key %q (have dataset, strategy, app, engine, cluster, variant, parts, metric)", k)
+		}
+		f[k] = append(f[k], v)
+	}
+	if len(f) == 0 {
+		return nil, nil
+	}
+	return f, nil
+}
+
+// Match reports whether the cell satisfies every filter key. A nil filter
+// matches everything. Name-like keys match by case-insensitive substring;
+// "parts" is numeric and compares exactly (parts=2 must not select 25).
+func (f Filter) Match(c Cell) bool {
+	for key, wants := range f {
+		var have string
+		if key == "metric" {
+			have = c.Metric
+		} else {
+			have, _ = c.Dims.Field(key)
+		}
+		have = strings.ToLower(have)
+		ok := false
+		for _, w := range wants {
+			if key == "parts" {
+				if have == w {
+					ok = true
+					break
+				}
+				continue
+			}
+			if strings.Contains(have, strings.ToLower(w)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the filter back to its flag form (keys sorted by first
+// use is not preserved; this is for the manifest, not round-tripping).
+func (f Filter) String() string {
+	var terms []string
+	for _, k := range []string{"dataset", "strategy", "app", "engine", "cluster", "variant", "parts", "metric"} {
+		for _, v := range f[k] {
+			terms = append(terms, k+"="+v)
+		}
+	}
+	return strings.Join(terms, ",")
+}

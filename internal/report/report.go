@@ -1,0 +1,226 @@
+// Package report defines the machine-readable result schema shared by the
+// experiment harness (internal/bench), cmd/benchrunner and cmd/partition:
+// typed measurement cells keyed by the paper's dimensions (dataset ×
+// strategy × app × engine), structured pass/fail checks, and a versioned
+// JSON report with a run manifest. Rendering (plain tables, markdown) is a
+// view over these records; this package is the data they are derived from,
+// and what cross-run regression diffing (Compare) consumes.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// SchemaVersion identifies the report layout. Bump it on incompatible
+// changes; Decode rejects reports from other versions.
+const SchemaVersion = 1
+
+// Dims identifies one cell of the paper's measurement matrix. Every field
+// is optional: an experiment fills in the dimensions it varies. Parts is
+// the partition count; Variant labels an ablation knob (λ, threshold,
+// loader count, …) that is not one of the paper's primary dimensions.
+type Dims struct {
+	Dataset  string `json:"dataset,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	App      string `json:"app,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+	Cluster  string `json:"cluster,omitempty"`
+	Parts    int    `json:"parts,omitempty"`
+	Variant  string `json:"variant,omitempty"`
+}
+
+// Key returns the canonical string form of d, used to match cells across
+// reports and to apply dimension filters.
+func (d Dims) Key() string {
+	var sb strings.Builder
+	for _, kv := range [...]struct{ k, v string }{
+		{"dataset", d.Dataset},
+		{"strategy", d.Strategy},
+		{"app", d.App},
+		{"engine", d.Engine},
+		{"cluster", d.Cluster},
+		{"variant", d.Variant},
+	} {
+		if kv.v != "" {
+			fmt.Fprintf(&sb, "%s=%s|", kv.k, kv.v)
+		}
+	}
+	if d.Parts != 0 {
+		fmt.Fprintf(&sb, "parts=%d|", d.Parts)
+	}
+	return strings.TrimSuffix(sb.String(), "|")
+}
+
+// Field returns the dimension value for a filter key ("dataset",
+// "strategy", "app", "engine", "cluster", "variant", "parts").
+func (d Dims) Field(key string) (string, bool) {
+	switch key {
+	case "dataset":
+		return d.Dataset, true
+	case "strategy":
+		return d.Strategy, true
+	case "app":
+		return d.App, true
+	case "engine":
+		return d.Engine, true
+	case "cluster":
+		return d.Cluster, true
+	case "variant":
+		return d.Variant, true
+	case "parts":
+		if d.Parts == 0 {
+			return "", true
+		}
+		return fmt.Sprintf("%d", d.Parts), true
+	}
+	return "", false
+}
+
+// Cell is one typed measurement: a metric value at one point of the
+// dimension matrix.
+type Cell struct {
+	Dims   Dims    `json:"dims"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit,omitempty"`
+}
+
+// Key identifies the cell for cross-report matching: dims plus metric.
+func (c Cell) Key() string {
+	k := c.Dims.Key()
+	if k == "" {
+		return "metric=" + c.Metric
+	}
+	return k + "|metric=" + c.Metric
+}
+
+// Check is a structured verdict: one qualitative claim from the paper,
+// the measured evidence, and whether this run reproduced it.
+type Check struct {
+	Claim    string `json:"claim"`
+	Observed string `json:"observed,omitempty"`
+	Pass     bool   `json:"pass"`
+}
+
+// Experiment is one experiment's typed output in a report.
+type Experiment struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Paper  string  `json:"paper,omitempty"`
+	Cells  []Cell  `json:"cells"`
+	Checks []Check `json:"checks,omitempty"`
+	// Seconds is wall-clock runtime; it varies run to run and is ignored
+	// by Compare.
+	Seconds float64 `json:"seconds"`
+	// Error is set when the experiment failed to run; Cells is then empty.
+	Error string `json:"error,omitempty"`
+}
+
+// ConfigInfo records the bench.Config a report was produced with.
+type ConfigInfo struct {
+	Scale           int    `json:"scale"`
+	Seed            uint64 `json:"seed"`
+	HybridThreshold int    `json:"hybridThreshold"`
+	Workers         int    `json:"workers"`
+}
+
+// ManifestEntry summarizes one experiment in the manifest.
+type ManifestEntry struct {
+	ID      string  `json:"id"`
+	Cells   int     `json:"cells"`
+	Checks  int     `json:"checks"`
+	Passed  int     `json:"passed"`
+	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// Manifest describes the run that produced a report.
+type Manifest struct {
+	Config       ConfigInfo      `json:"config"`
+	Filter       string          `json:"filter,omitempty"`
+	Experiments  []ManifestEntry `json:"experiments"`
+	TotalSeconds float64         `json:"totalSeconds"`
+}
+
+// Report is the versioned top-level JSON document.
+type Report struct {
+	SchemaVersion int          `json:"schemaVersion"`
+	Tool          string       `json:"tool"`
+	Manifest      Manifest     `json:"manifest"`
+	Experiments   []Experiment `json:"experiments"`
+}
+
+// WriteFile streams emit to the named file — or to stdout for "-" — and
+// surfaces flush/close errors so a failed write never leaves truncated
+// output behind a zero exit.
+func WriteFile(path string, stdout io.Writer, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Decode reads and validates a report.
+func Decode(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Validate checks the schema invariants: a supported version, non-empty
+// experiment and metric names, and finite values.
+func (r *Report) Validate() error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("report: schema version %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	seen := map[string]bool{}
+	for _, e := range r.Experiments {
+		if e.ID == "" {
+			return fmt.Errorf("report: experiment with empty id")
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("report: duplicate experiment %q", e.ID)
+		}
+		seen[e.ID] = true
+		for _, c := range e.Cells {
+			if c.Metric == "" {
+				return fmt.Errorf("report: %s: cell with empty metric (%s)", e.ID, c.Dims.Key())
+			}
+			if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+				return fmt.Errorf("report: %s: non-finite value for %s", e.ID, c.Key())
+			}
+		}
+		for _, ch := range e.Checks {
+			if ch.Claim == "" {
+				return fmt.Errorf("report: %s: check with empty claim", e.ID)
+			}
+		}
+	}
+	return nil
+}

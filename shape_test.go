@@ -1,5 +1,5 @@
 // Shape assertions: every experiment must run, render, and reproduce the
-// paper's qualitative claims (the "✓" verdicts in its notes). The single
+// paper's qualitative claims (its structured Checks must pass). The single
 // documented exception is fig8.4's K-core utilization-correlation branch
 // (see EXPERIMENTS.md).
 package main
@@ -11,8 +11,8 @@ import (
 	"graphpart/internal/bench"
 )
 
-// allowedMisses maps experiment id → substrings of notes that are allowed
-// to carry a ✗ (documented deviations).
+// allowedMisses maps experiment id → substrings of failed checks' observed
+// evidence that are allowed to fail (documented deviations).
 var allowedMisses = map[string][]string{
 	"fig8.4": {"K-Core: utilization-vs-compute"},
 }
@@ -42,10 +42,14 @@ func TestAllExperimentsReproducePaperShapes(t *testing.T) {
 			if testing.Short() && slowExperiments[e.ID] {
 				t.Skipf("%s takes multiple seconds; run without -short", e.ID)
 			}
-			table, err := e.Run(cfg)
+			res, err := e.Run(cfg)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
+			if len(res.Cells) == 0 {
+				t.Fatalf("%s: no typed cells emitted", e.ID)
+			}
+			table := res.Table()
 			if len(table.Rows) == 0 {
 				t.Fatalf("%s: empty table", e.ID)
 			}
@@ -56,18 +60,18 @@ func TestAllExperimentsReproducePaperShapes(t *testing.T) {
 			if !strings.Contains(sb.String(), e.ID) {
 				t.Errorf("%s: rendered output missing experiment id", e.ID)
 			}
-			for _, n := range table.Notes {
-				if !strings.Contains(n, "✗") {
+			for _, c := range res.Checks {
+				if c.Pass {
 					continue
 				}
 				allowed := false
 				for _, pat := range allowedMisses[e.ID] {
-					if strings.Contains(n, pat) {
+					if strings.Contains(c.Observed, pat) || strings.Contains(c.Claim, pat) {
 						allowed = true
 					}
 				}
 				if !allowed {
-					t.Errorf("%s: shape missed: %s", e.ID, n)
+					t.Errorf("%s: shape missed: %s", e.ID, c.Observed)
 				}
 			}
 		})
