@@ -23,7 +23,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		input    = flag.String("input", "", "edge-list file")
+		input    = flag.String("input", "", "graph file: text edge list or binary .csrg (format sniffed)")
 		dataset  = flag.String("dataset", "", "built-in dataset name")
 		scale    = flag.Int("scale", 1, "dataset scale factor")
 		machines = flag.Int("machines", 9, "cluster size")
@@ -38,7 +38,7 @@ func main() {
 	case *dataset != "":
 		g, err = datasets.Load(*dataset, *scale)
 	case *input != "":
-		g, err = graph.LoadEdgeList(*input)
+		g, err = graph.LoadFile(*input)
 	default:
 		log.Fatal("decide: need -input FILE or -dataset NAME (see -h)")
 	}

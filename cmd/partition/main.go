@@ -1,18 +1,20 @@
-// Command partition applies a partitioning strategy to an edge-list file (or
-// a named built-in dataset) and reports the paper's quality metrics:
-// replication factor, edge balance, per-partition loads, and simulated
-// ingress time.
+// Command partition applies a partitioning strategy to a graph file (text
+// edge list or binary .csrg, sniffed automatically) or a named registered
+// dataset, and reports the paper's quality metrics: replication factor, edge
+// balance, per-partition loads, and simulated ingress time.
 //
 // With -stream and a stateless (hash-family) strategy, the input file is
 // consumed in batches and never materialized: memory stays O(|V|·P/8) bits
-// plus one batch, no matter how large the edge list is.
+// plus one batch, no matter how large the edge list is. Streaming accepts
+// both formats; the binary one skips text parsing entirely.
 //
 // Usage:
 //
 //	partition -input graph.txt -strategy HDRF -parts 16
-//	partition -input huge.txt -strategy Grid -parts 25 -stream
+//	partition -input graph.csrg -strategy HDRF -parts 16
+//	partition -input huge.csrg -strategy Grid -parts 25 -stream
 //	partition -dataset uk-web -strategy Grid -parts 25 -verbose
-//	partition -strategies            # list strategy names
+//	partition -strategies            # list strategies + capability class
 package main
 
 import (
@@ -35,7 +37,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		input     = flag.String("input", "", "edge-list file (one 'src dst' pair per line)")
+		input     = flag.String("input", "", "graph file: text edge list or binary .csrg (format sniffed)")
 		dataset   = flag.String("dataset", "", "built-in dataset name instead of -input")
 		scale     = flag.Int("scale", 1, "dataset scale factor (with -dataset)")
 		strategy  = flag.String("strategy", "HDRF", "partitioning strategy")
@@ -47,16 +49,14 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream -input in batches without materializing the edge list (stateless strategies only)")
 		batch     = flag.Int("batch", 0, "edges per stream batch (0 = default)")
 		verbose   = flag.Bool("verbose", false, "print per-partition loads")
-		list      = flag.Bool("strategies", false, "list available strategies and exit")
+		list      = flag.Bool("strategies", false, "list available strategies with their ingress capability class and exit")
 		recommend = flag.Bool("recommend", false, "also print the decision-tree recommendation for this graph")
 		jsonOut   = flag.String("json", "", "also write the quality metrics as typed JSON cells (benchrunner's Cell schema) to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, n := range partition.AllNames() {
-			fmt.Println(n)
-		}
+		listStrategies(os.Stdout, *parts, *threshold)
 		return
 	}
 
@@ -75,7 +75,7 @@ func main() {
 	case *dataset != "":
 		g, err = datasets.Load(*dataset, *scale)
 	case *input != "":
-		g, err = graph.LoadEdgeList(*input)
+		g, err = graph.LoadFile(*input)
 	default:
 		log.Fatal("partition: need -input FILE or -dataset NAME (see -h)")
 	}
@@ -148,12 +148,7 @@ func streamPartition(s partition.Strategy, input string, parts int, seed uint64,
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Open(input)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	_, _, err = graph.StreamEdgeList(input, f, batch, func(offset int64, edges []graph.Edge) error {
+	_, _, err = graph.StreamFile(input, batch, func(offset int64, edges []graph.Edge) error {
 		return b.Feed(partition.EdgeBatch{Offset: offset, Edges: edges})
 	})
 	if err != nil {
@@ -246,4 +241,30 @@ func shapeString(s partition.Strategy, parts int) string {
 	default:
 		return "1 streaming pass, stateless"
 	}
+}
+
+// capabilityClass folds a strategy's IngressShape into the three-way class
+// the ingress pipeline dispatches on.
+func capabilityClass(s partition.Strategy, parts int) string {
+	shape := partition.ShapeOf(s, parts)
+	switch {
+	case shape.MultiPassReason != "":
+		return fmt.Sprintf("multi-pass (%d passes)", shape.Passes)
+	case shape.Loaders > 0:
+		return "streaming"
+	default:
+		return "stateless"
+	}
+}
+
+// listStrategies prints every registered strategy with its capability class,
+// derived from partition.ShapeOf — never from the name.
+func listStrategies(out io.Writer, parts, threshold int) {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tclass\tingress shape")
+	for _, n := range partition.AllNames() {
+		s := partition.MustNew(n, partition.Options{HybridThreshold: threshold})
+		fmt.Fprintf(w, "%s\t%s\t%s\n", n, capabilityClass(s, parts), shapeString(s, parts))
+	}
+	w.Flush()
 }

@@ -8,6 +8,11 @@
 //
 // Run them via cmd/benchrunner or the root-level Go benchmarks
 // (bench_test.go). Every experiment is deterministic.
+//
+// docs/EXPERIMENTS.md is a generated catalog of this registry; regenerate it
+// after adding or changing experiments (CI fails when it is stale).
+//
+//go:generate go run ./gendocs -o ../../docs/EXPERIMENTS.md
 package bench
 
 import (

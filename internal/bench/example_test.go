@@ -1,0 +1,40 @@
+package bench_test
+
+import (
+	"fmt"
+
+	"graphpart/internal/bench"
+	"graphpart/internal/report"
+)
+
+// ExampleRunner executes an ad-hoc experiment through the concurrent Runner
+// and assembles the machine-readable report. Registered experiments
+// (bench.All) run the same way; the Result builder turns measurements into
+// typed cells and structured checks that every rendering derives from.
+func ExampleRunner() {
+	exp := bench.Experiment{
+		ID:    "demo",
+		Title: "Demo experiment",
+		Run: func(cfg bench.Config) (*bench.Result, error) {
+			r := bench.NewResult("demo", "Demo experiment", "strategy", "rf")
+			r.Row(report.Dims{Strategy: "Random", Parts: 9}).
+				Col("Random").
+				Metric("replication-factor", 2.54, "ratio", 2)
+			r.Checkf(true, "replication stays bounded", "rf=%.2f %s", 2.54, bench.Mark(true))
+			return r, nil
+		},
+	}
+
+	runner := bench.Runner{Config: bench.DefaultConfig()}
+	results := runner.Run([]bench.Experiment{exp})
+	rep := runner.Report(results)
+
+	e := rep.Experiments[0]
+	fmt.Printf("experiment %s: %d cell(s), %d check(s)\n", e.ID, len(e.Cells), len(e.Checks))
+	fmt.Printf("cell %s = %.2f %s\n", e.Cells[0].Key(), e.Cells[0].Value, e.Cells[0].Unit)
+	fmt.Printf("check passed: %v\n", e.Checks[0].Pass)
+	// Output:
+	// experiment demo: 1 cell(s), 1 check(s)
+	// cell strategy=Random|parts=9|metric=replication-factor = 2.54 ratio
+	// check passed: true
+}

@@ -1,5 +1,10 @@
-// Package datasets names the scaled synthetic stand-ins for the six graphs
-// in the paper's Table 4.2 and caches them per process.
+// Package datasets is the registry of named benchmark graphs: the scaled
+// synthetic stand-ins for the six graphs in the paper's Table 4.2, plus any
+// externally registered edge-list or .csrg files. Every dataset has a
+// Manifest — kind, size, degree-skew statistics, provenance — and loads are
+// cached twice: once per process (in memory) and, when a cache directory is
+// configured, on disk in the binary .csrg format so later runs skip
+// generation and text parsing entirely.
 //
 // Scale 1 keeps every graph small enough that the full experiment suite runs
 // in seconds; benchmarks can request larger scales. Relative sizes mirror
@@ -8,88 +13,200 @@ package datasets
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"graphpart/internal/gen"
 	"graphpart/internal/graph"
 )
 
-// Info describes one dataset: the paper's original statistics and the
-// generator used for the stand-in.
+// Kind says where a dataset's edges come from.
+type Kind string
+
+const (
+	// SyntheticRoad marks lattice road-network stand-ins.
+	SyntheticRoad Kind = "synthetic-road"
+	// SyntheticSocial marks preferential-attachment social-network stand-ins.
+	SyntheticSocial Kind = "synthetic-social"
+	// SyntheticWeb marks locality-clustered web-crawl stand-ins.
+	SyntheticWeb Kind = "synthetic-web"
+	// External marks datasets registered from files on disk (e.g. real SNAP
+	// edge lists); their Build ignores the scale factor.
+	External Kind = "external"
+)
+
+// Info describes one registered dataset: identity, the paper's original
+// statistics when the dataset stands in for one of Table 4.2's graphs, and
+// provenance.
 type Info struct {
-	Name       string
-	Class      graph.DegreeClass // the class the paper assigns (Table 4.2)
-	PaperEdges string            // as reported in Table 4.2
+	Name string
+	Kind Kind
+	// Class is the degree class the paper assigns (Table 4.2) — or, for
+	// external datasets, the class claimed at registration.
+	Class graph.DegreeClass
+	// PaperEdges/PaperVerts are the sizes reported in Table 4.2 ("" for
+	// datasets that stand in for nothing).
+	PaperEdges string
 	PaperVerts string
-	build      func(scale int) *graph.Graph
+	// Provenance says how the edges are produced: generator and parameters
+	// for synthetic datasets, the source path for external ones.
+	Provenance string
 }
 
-// registry holds the six datasets, keyed by name.
-var registry = map[string]Info{
-	"road-ca": {
-		Name: "road-ca", Class: graph.LowDegree,
-		PaperEdges: "5.5M", PaperVerts: "1.9M",
-		build: func(s int) *graph.Graph {
-			side := isqrt(12000 * s)
-			return gen.RoadNet("road-ca", side, side, 0xca0)
-		},
-	},
-	"road-usa": {
-		Name: "road-usa", Class: graph.LowDegree,
-		PaperEdges: "57.5M", PaperVerts: "23.6M",
-		build: func(s int) *graph.Graph {
-			side := isqrt(40000 * s)
-			return gen.RoadNet("road-usa", side, side, 0x05a)
-		},
-	},
-	"livejournal": {
-		Name: "livejournal", Class: graph.HeavyTailed,
-		PaperEdges: "68.5M", PaperVerts: "4.8M",
-		build: func(s int) *graph.Graph {
-			return gen.PrefAttach("livejournal", 9000*s, 8, 0x17e)
-		},
-	},
-	"enwiki": {
-		Name: "enwiki", Class: graph.HeavyTailed,
-		PaperEdges: "101M", PaperVerts: "4.2M",
-		build: func(s int) *graph.Graph {
-			return gen.PrefAttach("enwiki", 6000*s, 12, 0xe4171)
-		},
-	},
-	"twitter": {
-		Name: "twitter", Class: graph.HeavyTailed,
-		PaperEdges: "1.46B", PaperVerts: "41.6M",
-		build: func(s int) *graph.Graph {
-			return gen.PrefAttach("twitter", 16000*s, 10, 0x7417713)
-		},
-	},
-	"uk-web": {
-		Name: "uk-web", Class: graph.PowerLaw,
-		PaperEdges: "3.71B", PaperVerts: "105.1M",
-		build: func(s int) *graph.Graph {
-			return gen.WebGraph("uk-web", gen.WebGraphConfig{
-				N: 30000 * s, Alpha: 1.62, MaxOutD: 3000 * s,
-				Locality: 0.86, Window: 64, Seed: 0x0b3b,
-			})
-		},
-	},
+// Builder produces the dataset's graph at a scale factor (external datasets
+// ignore scale). Builders must be deterministic.
+type Builder func(scale int) (*graph.Graph, error)
+
+type entry struct {
+	info  Info
+	build Builder
 }
 
-// Names returns all dataset names in a stable order: road networks first,
-// then heavy-tailed, then power-law — the column order of the paper's
-// figures.
-func Names() []string {
-	return []string{"road-ca", "road-usa", "livejournal", "enwiki", "twitter", "uk-web"}
-}
+var (
+	regMu    sync.RWMutex
+	registry = map[string]entry{}
+	// builtinOrder is the paper's figure column order: road networks first,
+	// then heavy-tailed, then power-law. Externally registered names follow,
+	// sorted, in Names().
+	builtinOrder = []string{"road-ca", "road-usa", "livejournal", "enwiki", "twitter", "uk-web"}
+	extraOrder   []string
+)
 
-// Describe returns the dataset metadata for name.
-func Describe(name string) (Info, error) {
-	info, ok := registry[name]
-	if !ok {
-		return Info{}, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, sortedKeys())
+// Register adds a dataset to the registry. It returns an error on an empty
+// or duplicate name or a nil builder; the six builtins are pre-registered.
+func Register(info Info, build Builder) error {
+	if info.Name == "" {
+		return fmt.Errorf("datasets: Register with empty name")
 	}
-	return info, nil
+	if build == nil {
+		return fmt.Errorf("datasets: Register(%q) with nil builder", info.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		return fmt.Errorf("datasets: dataset %q already registered", info.Name)
+	}
+	registry[info.Name] = entry{info: info, build: build}
+	extraOrder = append(extraOrder, info.Name)
+	sort.Strings(extraOrder)
+	return nil
+}
+
+// RegisterFile registers an external edge-list or .csrg file under name. The
+// file is loaded (format-sniffed) on first Load; class is the degree class
+// the caller expects the graph to have. Scale factors are ignored — external
+// graphs are whatever size they are.
+func RegisterFile(name, path string, class graph.DegreeClass) error {
+	info := Info{
+		Name: name, Kind: External, Class: class,
+		Provenance: fmt.Sprintf("file %s", path),
+	}
+	return Register(info, func(int) (*graph.Graph, error) {
+		g, err := graph.LoadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: %s: %w", name, err)
+		}
+		g.Name = name
+		return g, nil
+	})
+}
+
+// unregister removes a dataset; test cleanup only.
+func unregister(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, name)
+	for i, n := range extraOrder {
+		if n == name {
+			extraOrder = append(extraOrder[:i], extraOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+func init() {
+	builtin := func(info Info, build func(scale int) *graph.Graph) {
+		if err := Register(info, func(s int) (*graph.Graph, error) { return build(s), nil }); err != nil {
+			panic(err)
+		}
+	}
+	builtin(Info{
+		Name: "road-ca", Kind: SyntheticRoad, Class: graph.LowDegree,
+		PaperEdges: "5.5M", PaperVerts: "1.9M",
+		Provenance: "gen.RoadNet lattice, side²≈12000·scale, seed 0xca0",
+	}, func(s int) *graph.Graph {
+		side := isqrt(12000 * s)
+		return gen.RoadNet("road-ca", side, side, 0xca0)
+	})
+	builtin(Info{
+		Name: "road-usa", Kind: SyntheticRoad, Class: graph.LowDegree,
+		PaperEdges: "57.5M", PaperVerts: "23.6M",
+		Provenance: "gen.RoadNet lattice, side²≈40000·scale, seed 0x05a",
+	}, func(s int) *graph.Graph {
+		side := isqrt(40000 * s)
+		return gen.RoadNet("road-usa", side, side, 0x05a)
+	})
+	builtin(Info{
+		Name: "livejournal", Kind: SyntheticSocial, Class: graph.HeavyTailed,
+		PaperEdges: "68.5M", PaperVerts: "4.8M",
+		Provenance: "gen.PrefAttach n=9000·scale m=8, seed 0x17e",
+	}, func(s int) *graph.Graph {
+		return gen.PrefAttach("livejournal", 9000*s, 8, 0x17e)
+	})
+	builtin(Info{
+		Name: "enwiki", Kind: SyntheticSocial, Class: graph.HeavyTailed,
+		PaperEdges: "101M", PaperVerts: "4.2M",
+		Provenance: "gen.PrefAttach n=6000·scale m=12, seed 0xe4171",
+	}, func(s int) *graph.Graph {
+		return gen.PrefAttach("enwiki", 6000*s, 12, 0xe4171)
+	})
+	builtin(Info{
+		Name: "twitter", Kind: SyntheticSocial, Class: graph.HeavyTailed,
+		PaperEdges: "1.46B", PaperVerts: "41.6M",
+		Provenance: "gen.PrefAttach n=16000·scale m=10, seed 0x7417713",
+	}, func(s int) *graph.Graph {
+		return gen.PrefAttach("twitter", 16000*s, 10, 0x7417713)
+	})
+	builtin(Info{
+		Name: "uk-web", Kind: SyntheticWeb, Class: graph.PowerLaw,
+		PaperEdges: "3.71B", PaperVerts: "105.1M",
+		Provenance: "gen.WebGraph n=30000·scale α=1.62 locality=0.86, seed 0x0b3b",
+	}, func(s int) *graph.Graph {
+		return gen.WebGraph("uk-web", gen.WebGraphConfig{
+			N: 30000 * s, Alpha: 1.62, MaxOutD: 3000 * s,
+			Locality: 0.86, Window: 64, Seed: 0x0b3b,
+		})
+	})
+	// Builtins are ordered by builtinOrder, not registration order.
+	regMu.Lock()
+	extraOrder = nil
+	regMu.Unlock()
+}
+
+// Names returns all registered dataset names: the paper's six in figure
+// column order, then externally registered datasets sorted by name.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(builtinOrder)+len(extraOrder))
+	out = append(out, builtinOrder...)
+	out = append(out, extraOrder...)
+	return out
+}
+
+// Describe returns the static dataset metadata for name. Manifest adds the
+// measured statistics (which require building the graph).
+func Describe(name string) (Info, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Info{}, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, Names())
+	}
+	return e.info, nil
 }
 
 type cacheKey struct {
@@ -104,6 +221,7 @@ type cacheKey struct {
 type cacheEntry struct {
 	once sync.Once
 	g    *graph.Graph
+	err  error
 }
 
 var (
@@ -111,49 +229,166 @@ var (
 	cache   = map[cacheKey]*cacheEntry{}
 )
 
-// Load builds (or returns the cached) stand-in graph for name at the given
-// scale. Scale 1 is the test-sized default; the generators are deterministic
-// so the same (name, scale) always yields the same graph.
+// --- on-disk .csrg cache ----------------------------------------------
+
+// CacheEnv is the environment variable every binary honors: when set to a
+// directory, built datasets are persisted there as .csrg files and later
+// loads are binary reads instead of generator runs.
+const CacheEnv = "GRAPHPART_CACHE"
+
+var (
+	cacheDirMu  sync.Mutex
+	cacheDirVal string
+	cacheDirSet bool
+)
+
+// SetCacheDir configures the on-disk dataset cache directory ("" disables
+// it). It overrides the GRAPHPART_CACHE environment variable.
+func SetCacheDir(dir string) {
+	cacheDirMu.Lock()
+	defer cacheDirMu.Unlock()
+	cacheDirVal, cacheDirSet = dir, true
+}
+
+// CacheDir returns the active cache directory: the SetCacheDir value when
+// set, otherwise GRAPHPART_CACHE, otherwise "" (disk cache disabled).
+func CacheDir() string {
+	cacheDirMu.Lock()
+	defer cacheDirMu.Unlock()
+	if cacheDirSet {
+		return cacheDirVal
+	}
+	return os.Getenv(CacheEnv)
+}
+
+// CachePath returns the .csrg path a (name, scale) pair caches to under dir.
+func CachePath(dir, name string, scale int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.s%d%s", sanitize(name), scale, graph.CSRExt))
+}
+
+// sanitize keeps cache filenames flat and portable for arbitrary registered
+// dataset names.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// loadOrBuild resolves one (name, scale): disk cache hit, else build and
+// best-effort populate the disk cache.
+func loadOrBuild(e entry, name string, scale int) (*graph.Graph, error) {
+	dir := CacheDir()
+	// External datasets never touch the disk cache: their source is already
+	// a file the user may edit, and a cached copy would shadow those edits
+	// forever. Generator-backed builders are deterministic, so their cache
+	// entries can never go stale.
+	if e.info.Kind == External {
+		dir = ""
+	}
+	if dir != "" {
+		// A hit must also carry the right identity: sanitize() can map two
+		// registered names to one filename, and the stored graph name is
+		// what distinguishes them — a mismatch is a miss, never a wrong
+		// graph served silently.
+		if g, err := graph.LoadCSR(CachePath(dir, name, scale)); err == nil && g.Name == name {
+			g.EnsureCSR()
+			return g, nil
+		}
+		// Miss, corrupt file, or identity mismatch: fall through and
+		// rebuild. The atomic rename below overwrites the stale entry.
+	}
+	g, err := e.build(scale)
+	if err != nil {
+		return nil, err
+	}
+	g.EnsureCSR()
+	// Only graphs named after their dataset are cacheable — the stored name
+	// is the identity the hit path checks. Every builtin and RegisterFile
+	// builder satisfies this.
+	if dir != "" && g.Name == name {
+		writeCache(dir, name, scale, g)
+	}
+	return g, nil
+}
+
+// writeCache persists g as .csrg via temp-file + rename, so concurrent
+// processes never observe a torn cache entry. Failures are non-fatal: the
+// cache is an optimization, not a dependency.
+func writeCache(dir, name string, scale int, g *graph.Graph) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, sanitize(name)+".tmp-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := graph.WriteCSR(g, tmp); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	// CreateTemp makes 0600 files; widen so shared cache dirs stay usable.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp.Name(), CachePath(dir, name, scale))
+}
+
+// Load builds (or returns the cached) graph for name at the given scale.
+// Scale 1 is the test-sized default; builders are deterministic, so the same
+// (name, scale) always yields the same graph — whether it came from the
+// generator, the in-process cache, or a .csrg disk cache hit.
 func Load(name string, scale int) (*graph.Graph, error) {
 	if scale < 1 {
 		scale = 1
 	}
-	info, err := Describe(name)
-	if err != nil {
-		return nil, err
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, Names())
 	}
 	key := cacheKey{name, scale}
 	cacheMu.Lock()
-	e, ok := cache[key]
-	if !ok {
-		e = &cacheEntry{}
-		cache[key] = e
+	ce, hit := cache[key]
+	if !hit {
+		ce = &cacheEntry{}
+		cache[key] = ce
 	}
 	cacheMu.Unlock()
-	e.once.Do(func() {
-		g := info.build(scale)
-		g.EnsureCSR()
-		e.g = g
+	ce.once.Do(func() {
+		ce.g, ce.err = loadOrBuild(e, name, scale)
 	})
-	return e.g, nil
+	if ce.err != nil {
+		// Builder errors are not cached: generators never fail, but an
+		// external file dataset can fail transiently (file not there yet),
+		// and a once-pinned error would outlive the cause. Dropping the
+		// entry lets the next Load retry; concurrent waiters deleting the
+		// same entry is harmless.
+		cacheMu.Lock()
+		if cache[key] == ce {
+			delete(cache, key)
+		}
+		cacheMu.Unlock()
+	}
+	return ce.g, ce.err
 }
 
-// MustLoad is Load that panics on unknown names; for tests and examples.
+// MustLoad is Load that panics on errors; for tests and examples.
 func MustLoad(name string, scale int) *graph.Graph {
 	g, err := Load(name, scale)
 	if err != nil {
 		panic(err)
 	}
 	return g
-}
-
-func sortedKeys() []string {
-	keys := make([]string, 0, len(registry))
-	for k := range registry {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 // isqrt returns the integer square root of n.

@@ -1,0 +1,256 @@
+package datasets
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"graphpart/internal/graph"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m, err := BuildManifest("road-ca", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != SyntheticRoad || m.Class != "low-degree" {
+		t.Errorf("road-ca manifest kind=%s class=%s", m.Kind, m.Class)
+	}
+	if m.Vertices == 0 || m.Edges == 0 || m.Provenance == "" {
+		t.Errorf("manifest missing measured fields: %+v", m)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Errorf("manifest did not round-trip:\n out  %+v\n back %+v", m, back)
+	}
+}
+
+func TestManifestSkewSeparatesClasses(t *testing.T) {
+	road, err := BuildManifest("road-ca", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := BuildManifest("twitter", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if road.Stats.Gini >= tw.Stats.Gini {
+		t.Errorf("road Gini %.3f not below twitter Gini %.3f — skew stat is not separating classes",
+			road.Stats.Gini, tw.Stats.Gini)
+	}
+	if road.Stats.MaxDegree >= tw.Stats.MaxDegree {
+		t.Errorf("road max degree %d not below twitter %d", road.Stats.MaxDegree, tw.Stats.MaxDegree)
+	}
+}
+
+func TestManifestUnknownName(t *testing.T) {
+	if _, err := BuildManifest("no-such-graph", 1); err == nil {
+		t.Error("BuildManifest accepted an unknown dataset")
+	}
+}
+
+func TestDecodeManifestRejectsEmpty(t *testing.T) {
+	if _, err := DecodeManifest(bytes.NewReader([]byte("{}"))); err == nil {
+		t.Error("manifest without a name accepted")
+	}
+	if _, err := DecodeManifest(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("malformed manifest accepted")
+	}
+}
+
+func TestRegisterFileExternalDataset(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.FromEdges("ext", []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 2, Dst: 3},
+	})
+	path := filepath.Join(dir, "ext.csrg")
+	if err := graph.SaveCSR(g, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterFile("ext-test", path, graph.LowDegree); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { unregister("ext-test") })
+
+	if err := RegisterFile("ext-test", path, graph.LowDegree); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+
+	found := false
+	for _, n := range Names() {
+		if n == "ext-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("registered dataset missing from Names() = %v", Names())
+	}
+
+	loaded := MustLoad("ext-test", 1)
+	if loaded.Name != "ext-test" || loaded.NumEdges() != g.NumEdges() {
+		t.Errorf("external load = %v, want 4 edges named ext-test", loaded)
+	}
+	m, err := BuildManifest("ext-test", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != External || m.Edges != 4 {
+		t.Errorf("external manifest %+v", m)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(Info{}, func(int) (*graph.Graph, error) { return nil, nil }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register(Info{Name: "x"}, nil); err == nil {
+		t.Error("nil builder accepted")
+	}
+	if err := Register(Info{Name: "road-ca"}, func(int) (*graph.Graph, error) { return nil, nil }); err == nil {
+		t.Error("builtin name shadowed")
+	}
+}
+
+// TestDiskCacheRoundTrip pins the disk-cache contract: a first load writes a
+// .csrg file; a second process-equivalent load (fresh in-memory cache) reads
+// it back and yields a byte-identical edge list.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	SetCacheDir(dir)
+	t.Cleanup(func() { SetCacheDir("") })
+
+	// A private registration keeps this test independent of the shared
+	// in-memory cache entries other tests may have populated.
+	builds := 0
+	if err := Register(Info{Name: "cache-test", Kind: SyntheticRoad, Class: graph.LowDegree},
+		func(scale int) (*graph.Graph, error) {
+			builds++
+			return graph.FromEdges("cache-test", []graph.Edge{
+				{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2},
+			}), nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { unregister("cache-test") })
+
+	first := MustLoad("cache-test", 1)
+	if builds != 1 {
+		t.Fatalf("builds = %d after first load", builds)
+	}
+	cached := CachePath(dir, "cache-test", 1)
+	if _, err := os.Stat(cached); err != nil {
+		t.Fatalf("disk cache not written: %v", err)
+	}
+
+	// Simulate a fresh process by clearing the in-memory cache entry.
+	cacheMu.Lock()
+	delete(cache, cacheKey{"cache-test", 1})
+	cacheMu.Unlock()
+
+	second := MustLoad("cache-test", 1)
+	if builds != 1 {
+		t.Errorf("builds = %d; second load should hit the disk cache", builds)
+	}
+	if !reflect.DeepEqual(first.Edges, second.Edges) {
+		t.Errorf("disk-cached edges differ:\n first  %v\n second %v", first.Edges, second.Edges)
+	}
+	if second.Name != "cache-test" {
+		t.Errorf("cached graph name %q", second.Name)
+	}
+
+	// A corrupt cache entry must be rebuilt, not trusted.
+	if err := os.WriteFile(cached, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheMu.Lock()
+	delete(cache, cacheKey{"cache-test", 1})
+	cacheMu.Unlock()
+	third := MustLoad("cache-test", 1)
+	if builds != 2 {
+		t.Errorf("builds = %d; corrupt cache should force a rebuild", builds)
+	}
+	if !reflect.DeepEqual(first.Edges, third.Edges) {
+		t.Error("rebuild after corrupt cache produced different edges")
+	}
+}
+
+// TestLoadRetriesAfterTransientBuilderError pins that a failed build is not
+// pinned by the in-memory cache: external file datasets can fail transiently
+// (file not downloaded yet) and must succeed on a later Load.
+func TestLoadRetriesAfterTransientBuilderError(t *testing.T) {
+	calls := 0
+	if err := Register(Info{Name: "flaky-test", Kind: External, Class: graph.LowDegree},
+		func(int) (*graph.Graph, error) {
+			calls++
+			if calls == 1 {
+				return nil, os.ErrNotExist
+			}
+			return graph.FromEdges("flaky-test", []graph.Edge{{Src: 0, Dst: 1}}), nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { unregister("flaky-test") })
+
+	if _, err := Load("flaky-test", 1); err == nil {
+		t.Fatal("first load should fail")
+	}
+	g, err := Load("flaky-test", 1)
+	if err != nil {
+		t.Fatalf("second load still failing: %v", err)
+	}
+	if g.NumEdges() != 1 || calls != 2 {
+		t.Errorf("retry produced |E|=%d after %d builder calls", g.NumEdges(), calls)
+	}
+}
+
+// TestDiskCacheRejectsForeignIdentity pins that a cache file holding a
+// different dataset (name collisions after sanitize, or a copied file) is
+// treated as a miss, never served as the requested dataset.
+func TestDiskCacheRejectsForeignIdentity(t *testing.T) {
+	dir := t.TempDir()
+	SetCacheDir(dir)
+	t.Cleanup(func() { SetCacheDir("") })
+
+	if err := Register(Info{Name: "ident-test", Kind: SyntheticRoad, Class: graph.LowDegree},
+		func(int) (*graph.Graph, error) {
+			return graph.FromEdges("ident-test", []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}), nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { unregister("ident-test") })
+
+	// Plant a valid .csrg for a *different* graph at ident-test's cache path.
+	foreign := graph.FromEdges("some-other-graph", []graph.Edge{{Src: 0, Dst: 1}})
+	if err := graph.SaveCSR(foreign, CachePath(dir, "ident-test", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	g := MustLoad("ident-test", 1)
+	if g.Name != "ident-test" || g.NumEdges() != 2 {
+		t.Errorf("foreign cache entry served: got %v", g)
+	}
+	// The rebuild must have replaced the foreign entry with the real one.
+	cached, err := graph.LoadCSR(CachePath(dir, "ident-test", 1))
+	if err != nil || cached.Name != "ident-test" {
+		t.Errorf("cache not repaired: %v, %v", cached, err)
+	}
+}
+
+func TestCachePathSanitizesNames(t *testing.T) {
+	p := CachePath("/tmp/c", "weird/name with spaces", 2)
+	if filepath.Dir(p) != "/tmp/c" {
+		t.Errorf("sanitized path escaped the cache dir: %s", p)
+	}
+	if filepath.Base(p) != "weird_name_with_spaces.s2.csrg" {
+		t.Errorf("unexpected cache filename %s", filepath.Base(p))
+	}
+}

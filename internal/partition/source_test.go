@@ -1,0 +1,133 @@
+package partition_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"graphpart/internal/datasets"
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+)
+
+// sourceParts picks a partition count every strategy accepts: Grid needs a
+// perfect square, PDS needs p²+p+1.
+func sourceParts(name string) int {
+	if name == "PDS" {
+		return 13
+	}
+	return 9
+}
+
+// TestBinaryAndTextSourcesYieldIdenticalAssignments is the acceptance bar
+// for the binary graph format: for every registered dataset, partitioning
+// the graph loaded from its .csrg form must yield byte-identical edge
+// placements and masters to the graph loaded from a text edge list, for all
+// 13 strategies. The formats must therefore preserve edge order exactly —
+// streaming strategies assign by edge index, so order is part of graph
+// identity.
+func TestBinaryAndTextSourcesYieldIdenticalAssignments(t *testing.T) {
+	names := datasets.Names()
+	if testing.Short() {
+		names = []string{"road-ca", "livejournal"} // one per ingress regime
+	}
+	strategies := partition.AllNames()
+	if len(strategies) != 13 {
+		t.Fatalf("registry has %d strategies, want the paper's 13", len(strategies))
+	}
+	dir := t.TempDir()
+	for _, ds := range names {
+		g := datasets.MustLoad(ds, 1)
+		textPath := filepath.Join(dir, ds+".txt")
+		binPath := filepath.Join(dir, ds+".csrg")
+		if err := graph.SaveEdgeList(g, textPath); err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.SaveCSR(g, binPath); err != nil {
+			t.Fatal(err)
+		}
+		fromText, err := graph.LoadFile(textPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromBin, err := graph.LoadFile(binPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fromText.NumEdges() != g.NumEdges() || fromBin.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: reloaded edge counts %d/%d, want %d", ds, fromText.NumEdges(), fromBin.NumEdges(), g.NumEdges())
+		}
+
+		for _, name := range strategies {
+			parts := sourceParts(name)
+			s := partition.MustNew(name, partition.Options{HybridThreshold: 30})
+			at, err := partition.Partition(fromText, s, parts, 1)
+			if err != nil {
+				t.Fatalf("%s/%s (text): %v", ds, name, err)
+			}
+			ab, err := partition.Partition(fromBin, s, parts, 1)
+			if err != nil {
+				t.Fatalf("%s/%s (binary): %v", ds, name, err)
+			}
+			if !int32SlicesEqual(at.EdgeParts, ab.EdgeParts) {
+				t.Errorf("%s/%s: edge placements differ between text and binary sources", ds, name)
+			}
+			if !int32SlicesEqual(at.Masters, ab.Masters) {
+				t.Errorf("%s/%s: masters differ between text and binary sources", ds, name)
+			}
+		}
+	}
+}
+
+// TestStreamedBinarySourceMatchesText feeds a StreamBuilder from both file
+// formats via graph.StreamFile and checks the streamed summaries agree —
+// the bounded-memory ingress path accepts the binary source too.
+func TestStreamedBinarySourceMatchesText(t *testing.T) {
+	g := datasets.MustLoad("road-ca", 1)
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "g.txt")
+	binPath := filepath.Join(dir, "g.csrg")
+	if err := graph.SaveEdgeList(g, textPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.SaveCSR(g, binPath); err != nil {
+		t.Fatal(err)
+	}
+
+	summarize := func(path string) *partition.StreamSummary {
+		s := partition.MustNew("Grid", partition.Options{}).(partition.StatelessStrategy)
+		b, err := partition.NewStreamBuilder(s, 9, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := graph.StreamFile(path, 4096, func(offset int64, edges []graph.Edge) error {
+			return b.Feed(partition.EdgeBatch{Offset: offset, Edges: edges})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return b.Finish()
+	}
+	st, sb := summarize(textPath), summarize(binPath)
+	if st.NumEdges != sb.NumEdges || st.NumVertices != sb.NumVertices {
+		t.Errorf("streamed sizes differ: text |V|=%d |E|=%d, binary |V|=%d |E|=%d",
+			st.NumVertices, st.NumEdges, sb.NumVertices, sb.NumEdges)
+	}
+	if st.ReplicationFactor() != sb.ReplicationFactor() || st.EdgeBalance() != sb.EdgeBalance() {
+		t.Errorf("streamed metrics differ: text rf=%v bal=%v, binary rf=%v bal=%v",
+			st.ReplicationFactor(), st.EdgeBalance(), sb.ReplicationFactor(), sb.EdgeBalance())
+	}
+	if !int32SlicesEqual(st.Masters, sb.Masters) {
+		t.Error("streamed masters differ between text and binary sources")
+	}
+}
+
+func int32SlicesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

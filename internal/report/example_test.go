@@ -1,0 +1,43 @@
+package report_test
+
+import (
+	"fmt"
+
+	"graphpart/internal/report"
+)
+
+// ExampleCompare diffs a fresh report against a baseline: a drifted cell
+// value and a check that stopped passing are both regressions; new cells are
+// not. cmd/benchrunner -compare exits non-zero on exactly these diffs.
+func ExampleCompare() {
+	cell := func(strategy string, v float64) report.Cell {
+		return report.Cell{
+			Dims:   report.Dims{Dataset: "road-ca", Strategy: strategy, Parts: 9},
+			Metric: "replication-factor", Value: v, Unit: "ratio",
+		}
+	}
+	base := &report.Report{
+		SchemaVersion: report.SchemaVersion,
+		Experiments: []report.Experiment{{
+			ID:     "fig5.6",
+			Cells:  []report.Cell{cell("HDRF", 1.19), cell("Random", 2.54)},
+			Checks: []report.Check{{Claim: "greedy beats random", Pass: true}},
+		}},
+	}
+	cur := &report.Report{
+		SchemaVersion: report.SchemaVersion,
+		Experiments: []report.Experiment{{
+			ID:     "fig5.6",
+			Cells:  []report.Cell{cell("HDRF", 1.32), cell("Random", 2.54), cell("Grid", 2.05)},
+			Checks: []report.Check{{Claim: "greedy beats random", Pass: false}},
+		}},
+	}
+
+	diffs := report.Compare(base, cur, report.DefaultRelTol)
+	for _, d := range diffs {
+		fmt.Printf("%s: %s\n", d.Kind, d.Key)
+	}
+	// Output:
+	// value: dataset=road-ca|strategy=HDRF|parts=9|metric=replication-factor
+	// check: greedy beats random
+}
