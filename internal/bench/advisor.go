@@ -1,0 +1,290 @@
+package bench
+
+// Advisor validation: fit the empirical recommender (internal/advisor) on
+// this run's own measurements and score it against the paper's decision
+// trees. For every end-to-end workload the advisor's pick must land within
+// tolerance of the measured-best strategy (regret), and on average it must
+// do no worse than the trees it is meant to supersede (agreement is
+// reported per workload, not required: where the measurements disagree
+// with the paper's rules of thumb, the advisor should follow the
+// measurements).
+
+import (
+	"fmt"
+
+	"graphpart/internal/advisor"
+	"graphpart/internal/cluster"
+	"graphpart/internal/datasets"
+	"graphpart/internal/decision"
+	"graphpart/internal/engine"
+	"graphpart/internal/partition"
+	"graphpart/internal/report"
+)
+
+func init() {
+	register(advRegret())
+}
+
+// advisorRegretTol is the per-workload bound on the advisor's regret: the
+// chosen strategy's measured total may exceed the best strategy's by at
+// most this fraction. It is looser than fig5.9's 10% because the
+// all-strategies leaves pool workloads across cluster shapes.
+const advisorRegretTol = 0.20
+
+// lyraTotalSeconds measures ingress + compute for one strategy/app on the
+// PowerLyra engine (the differentiated-engine counterpart of
+// totalJobSeconds).
+func lyraTotalSeconds(cfg Config, ds, strat, appName string, cc cluster.Config) (float64, error) {
+	model := cfg.model()
+	a, err := assignment(cfg, ds, strat, cc.NumParts())
+	if err != nil {
+		return 0, err
+	}
+	s, err := strategyFor(cfg, strat)
+	if err != nil {
+		return 0, err
+	}
+	ing := cluster.Ingress(a, s, cc, model)
+	for _, spec := range paperApps() {
+		if spec.name != appName {
+			continue
+		}
+		stats, err := spec.run(engine.ModePowerLyra, a, cc, model, cfg.engineOpts())
+		if err != nil {
+			return 0, err
+		}
+		return ing.Seconds + stats.ComputeSeconds, nil
+	}
+	return 0, fmt.Errorf("bench: unknown app %q", appName)
+}
+
+// advCase is one end-to-end workload the advisor is graded on.
+type advCase struct {
+	engine  string
+	sys     partition.System
+	ds      string
+	app     string
+	variant string
+	cc      cluster.Config
+}
+
+func (c advCase) job() string {
+	if c.variant != "" {
+		return c.app + " " + c.variant
+	}
+	return c.app
+}
+
+func advRegret() Experiment {
+	return Experiment{
+		ID:    "adv.regret",
+		Title: "Empirical advisor vs paper trees (agreement and regret)",
+		Paper: "a recommender fitted on the measured cells should pick a strategy within 20% of the measured best for every (dataset, app, engine) workload, and its mean regret should not exceed the paper trees'",
+		Run: func(cfg Config) (*Result, error) {
+			model := cfg.model()
+			pgCC, gxCC, plCC := cluster.EC2x25, cluster.GraphXLocal9, cluster.EC2x25
+			// The measurable strategy sets per engine. PowerLyra keeps the
+			// engine sweep affordable with its four headline strategies.
+			pgStrats := powerGraphStrategies
+			gxStrats := graphxAllStrategies()
+			plStrats := []string{"Random", "Grid", "Oblivious", "Hybrid"}
+
+			cases := []advCase{
+				{enginePowerGraph, partition.PowerGraph, "road-ca", "PageRank(C)", "", pgCC},
+				{enginePowerGraph, partition.PowerGraph, "road-usa", "PageRank(C)", "", pgCC},
+				{enginePowerGraph, partition.PowerGraph, "livejournal", "PageRank(C)", "", pgCC},
+				{enginePowerGraph, partition.PowerGraph, "uk-web", "PageRank(C)", "", pgCC},
+				{enginePowerGraph, partition.PowerGraph, "uk-web", "K-Core", "", pgCC},
+				{engineGraphX, partition.GraphXAll, "road-ca", "PageRank", "iters=2", gxCC},
+				{engineGraphX, partition.GraphXAll, "road-ca", "PageRank", "iters=25", gxCC},
+				{engineGraphX, partition.GraphXAll, "livejournal", "PageRank", "iters=2", gxCC},
+				{engineGraphX, partition.GraphXAll, "livejournal", "PageRank", "iters=25", gxCC},
+				{enginePowerLyra, partition.PowerLyra, "uk-web", "PageRank(10)", "", plCC},
+				{enginePowerLyra, partition.PowerLyra, "uk-web", "WCC", "", plCC},
+			}
+
+			// --- measure: training cells for the advisor ---------------
+			var train []report.Cell
+			cell := func(d report.Dims, metric string, v float64, unit string) {
+				train = append(train, report.Cell{Dims: d, Metric: metric, Value: v, Unit: unit})
+			}
+			totals := map[advCase]map[string]float64{}
+			measure := func(c advCase, strat string) (float64, error) {
+				switch c.engine {
+				case enginePowerGraph:
+					return totalJobSeconds(cfg, c.ds, strat, c.app, c.cc)
+				case enginePowerLyra:
+					return lyraTotalSeconds(cfg, c.ds, strat, c.app, c.cc)
+				default:
+					var iters int
+					fmt.Sscanf(c.variant, "iters=%d", &iters)
+					a, err := assignment(cfg, c.ds, strat, c.cc.NumParts())
+					if err != nil {
+						return 0, err
+					}
+					st, err := runGraphXApp(c.app, a, cfg.graphxConfig(c.cc, iters), model)
+					if err != nil {
+						return 0, err
+					}
+					return st.PartitionSeconds + st.ComputeSeconds, nil
+				}
+			}
+			stratsFor := func(c advCase) []string {
+				switch c.engine {
+				case enginePowerGraph:
+					return pgStrats
+				case enginePowerLyra:
+					return plStrats
+				default:
+					return gxStrats
+				}
+			}
+			for _, c := range cases {
+				totals[c] = map[string]float64{}
+				for _, strat := range stratsFor(c) {
+					tt, err := measure(c, strat)
+					if err != nil {
+						return nil, err
+					}
+					totals[c][strat] = tt
+					cell(report.Dims{Dataset: c.ds, Strategy: strat, App: c.app,
+						Engine: c.engine, Cluster: clusterName(c.cc), Parts: c.cc.NumParts(),
+						Variant: c.variant}, "total-s", tt, "s")
+				}
+			}
+			// Ingress and replication sweeps give the learner its
+			// short-job/long-job structure and cover datasets the
+			// end-to-end cases don't reach.
+			sweepDatasets := []string{"road-ca", "road-usa", "livejournal", "twitter", "uk-web"}
+			for _, engineName := range []string{enginePowerGraph, enginePowerLyra} {
+				strats := pgStrats
+				if engineName == enginePowerLyra {
+					strats = plStrats
+				}
+				for _, ds := range sweepDatasets {
+					for _, strat := range strats {
+						a, err := assignment(cfg, ds, strat, pgCC.NumParts())
+						if err != nil {
+							return nil, err
+						}
+						s, err := strategyFor(cfg, strat)
+						if err != nil {
+							return nil, err
+						}
+						d := sweepDims(engineName, ds, strat, pgCC)
+						cell(d, "ingress-seconds", cluster.Ingress(a, s, pgCC, model).Seconds, "s")
+						cell(d, "replication-factor", a.ReplicationFactor(), "ratio")
+					}
+				}
+			}
+
+			// --- fit ----------------------------------------------------
+			trainRep := &report.Report{
+				SchemaVersion: report.SchemaVersion,
+				Tool:          "bench/adv.regret",
+				Experiments:   []report.Experiment{{ID: "train", Title: "advisor training cells", Cells: train}},
+			}
+			var mans []datasets.Manifest
+			for _, ds := range sweepDatasets {
+				m, err := datasets.BuildManifest(ds, cfg.scale())
+				if err != nil {
+					return nil, err
+				}
+				mans = append(mans, m)
+			}
+			mdl, err := advisor.Fit(trainRep, mans)
+			if err != nil {
+				return nil, err
+			}
+
+			// --- grade --------------------------------------------------
+			r := NewResult("adv.regret", "advisor vs paper tree on measured workloads",
+				"engine", "graph", "job", "advisor", "tree", "best",
+				"adv-regret", "tree-regret", "agree")
+			trees := decision.PaperTrees()
+			regretOf := func(scores map[string]float64, best float64, strat string) (float64, error) {
+				s, ok := scores[strat]
+				if !ok {
+					return 0, fmt.Errorf("bench: recommended strategy %q was not measured", strat)
+				}
+				return s/best - 1, nil
+			}
+			allWithin, agreeCount := true, 0
+			var advSum, treeSum float64
+			for _, c := range cases {
+				// The advisor's own observation for this workload carries
+				// the measured feature vector (ratio included); replaying
+				// it is the regret the ISSUE gates on.
+				var w decision.Workload
+				found := false
+				for _, o := range mdl.Observations(c.engine) {
+					if o.Kind == advisor.KindTotal && o.Dataset == c.ds && o.App == c.app && o.Variant == c.variant {
+						w, found = o.W, true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("bench: advisor extracted no observation for %s/%s/%s", c.engine, c.ds, c.job())
+				}
+				adv, err := mdl.Recommend(c.sys, w)
+				if err != nil {
+					return nil, err
+				}
+				tree, err := trees.Recommend(c.sys, w)
+				if err != nil {
+					return nil, err
+				}
+				best, bestT := "", -1.0
+				for strat, tt := range totals[c] {
+					if bestT < 0 || tt < bestT || (tt == bestT && strat < best) {
+						best, bestT = strat, tt
+					}
+				}
+				advRegret, err := regretOf(totals[c], bestT, adv.Strategy)
+				if err != nil {
+					return nil, err
+				}
+				treeRegret, err := regretOf(totals[c], bestT, tree.Strategy)
+				if err != nil {
+					return nil, err
+				}
+				agree := adv.Strategy == tree.Strategy
+				if agree {
+					agreeCount++
+				}
+				if advRegret > advisorRegretTol {
+					allWithin = false
+				}
+				advSum += advRegret
+				treeSum += treeRegret
+				d := report.Dims{Dataset: c.ds, App: c.app, Engine: c.engine,
+					Cluster: clusterName(c.cc), Parts: c.cc.NumParts(), Variant: c.variant}
+				r.Row(d).
+					Col(c.engine, c.ds, c.job(), adv.Strategy, tree.Strategy, best).
+					Metric("advisor-regret", advRegret, "ratio", 3).
+					MetricAt(d, "tree-regret", treeRegret, "ratio", 3).
+					Colf("%v", agree)
+				r.Cell(d, "advisor-confidence", adv.Confidence, "ratio")
+				r.Cell(d, "agree", boolCell(agree), "")
+			}
+			n := float64(len(cases))
+			r.Cell(report.Dims{}, "agreement-rate", float64(agreeCount)/n, "ratio")
+			r.Cell(report.Dims{}, "mean-advisor-regret", advSum/n, "ratio")
+			r.Cell(report.Dims{}, "mean-tree-regret", treeSum/n, "ratio")
+			r.Checkf(allWithin, "advisor recommendation within 20% of the measured best everywhere",
+				"advisor recommendation within 20%% of the measured best everywhere: %s", Mark(allWithin))
+			noWorse := advSum <= treeSum+1e-9
+			r.Checkf(noWorse, "advisor mean regret no worse than the paper trees'",
+				"mean regret: advisor %.3f vs trees %.3f %s", advSum/n, treeSum/n, Mark(noWorse))
+			r.Notef("agreement with the paper trees: %d/%d workloads (disagreements are where the measurements beat the rules of thumb)", agreeCount, len(cases))
+			return r, nil
+		},
+	}
+}
+
+func boolCell(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -14,12 +14,13 @@ var updateGolden = flag.Bool("update", false, "rewrite golden experiment renders
 // goldenSlow mirrors the root shape_test gating: the multi-second engine
 // sweeps are only byte-checked in full (non -short) runs.
 var goldenSlow = map[string]bool{
-	"fig5.3": true,
-	"fig5.4": true,
-	"fig5.5": true,
-	"fig8.4": true,
-	"fig5.9": true,
-	"tab5.1": true,
+	"fig5.3":     true,
+	"fig5.4":     true,
+	"fig5.5":     true,
+	"fig8.4":     true,
+	"fig5.9":     true,
+	"tab5.1":     true,
+	"adv.regret": true,
 }
 
 // TestGoldenTableRenders pins every experiment's plain-text table render

@@ -72,16 +72,50 @@ func BuildManifest(name string, scale int) (Manifest, error) {
 		Provenance: info.Provenance,
 		PaperVerts: info.PaperVerts,
 		PaperEdges: info.PaperEdges,
-		Stats: DegreeStats{
-			MaxDegree:      cls.MaxDegree,
-			MaxInDegree:    g.MaxInDegree(),
-			AvgDegree:      cls.AvgDegree,
-			Gini:           giniDegree(g),
-			Alpha:          cls.Fit.Alpha,
-			R2:             cls.Fit.R2,
-			LowDegreeRatio: cls.Fit.LowDegreeRatio,
-		},
+		Stats:      statsFor(g, cls),
 	}, nil
+}
+
+// MeasureManifest describes an unregistered graph: an External-kind
+// manifest with the measured class, sizes and skew statistics — the
+// feature vector cmd/decide builds for -input files.
+func MeasureManifest(g *graph.Graph) Manifest {
+	cls := graph.Classify(g)
+	return Manifest{
+		Name:     g.Name,
+		Kind:     External,
+		Class:    cls.Class.String(),
+		Scale:    1,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Stats:    statsFor(g, cls),
+	}
+}
+
+// MeasureStats measures the degree-skew statistics of an arbitrary graph —
+// the same numbers BuildManifest records for registered datasets.
+func MeasureStats(g *graph.Graph) DegreeStats {
+	return statsFor(g, graph.Classify(g))
+}
+
+// statsFor derives the manifest statistics from an already-computed
+// classification, so callers that need both never classify twice.
+func statsFor(g *graph.Graph, cls graph.Classification) DegreeStats {
+	if cls.Class == graph.LowDegree {
+		// Classify skips the power-law fit below the low-degree cutoff;
+		// manifests always carry it (a lattice's fit position is still a
+		// feature).
+		cls.Fit = graph.FitPowerLaw(g.DegreeHistogram())
+	}
+	return DegreeStats{
+		MaxDegree:      cls.MaxDegree,
+		MaxInDegree:    g.MaxInDegree(),
+		AvgDegree:      cls.AvgDegree,
+		Gini:           giniDegree(g),
+		Alpha:          cls.Fit.Alpha,
+		R2:             cls.Fit.R2,
+		LowDegreeRatio: cls.Fit.LowDegreeRatio,
+	}
 }
 
 // Encode writes the manifest as indented JSON.

@@ -1,7 +1,11 @@
-// Package decision implements the paper's three decision trees for picking
-// a partitioning strategy: Fig 5.9 (PowerGraph), Fig 6.6 (PowerLyra) and
-// Fig 9.3 (GraphX with all strategies), plus the per-system rules of thumb
-// from chapters 7 and 10.
+// Package decision picks partitioning strategies. It defines the Rule
+// interface every recommendation source implements, the Workload the
+// sources branch on, and the paper's three decision trees — Fig 5.9
+// (PowerGraph), Fig 6.6 (PowerLyra) and Fig 9.3 (GraphX with all
+// strategies) — as the PaperTrees Rule, plus the per-system rules of thumb
+// from chapters 7 and 10. The empirical counterpart, a model learned from
+// measured bench reports, lives in internal/advisor and implements the
+// same Rule interface.
 package decision
 
 import (
@@ -11,7 +15,11 @@ import (
 	"graphpart/internal/partition"
 )
 
-// Workload describes the inputs the trees branch on.
+// Workload describes the inputs recommendation rules branch on. The first
+// four fields are the nodes of the paper's trees; the rest are the
+// measured degree-skew features (datasets.Manifest.Stats) and workload
+// identity that empirical rules use. Zero values mean "unknown" — the
+// paper trees never look at them.
 type Workload struct {
 	// Class is the input graph's degree-distribution class; derive it with
 	// graph.Classify if unknown.
@@ -26,6 +34,21 @@ type Workload struct {
 	// NaturalApp reports whether the application gathers in one direction
 	// and scatters in the other (PowerLyra's tree only, §6.1).
 	NaturalApp bool
+
+	// Dataset and App optionally name a registered dataset and a benchmark
+	// application; empirical rules use them to look up measured cells.
+	Dataset string
+	App     string
+	// Gini, Alpha, R2, LowDegreeRatio, MaxDegree and AvgDegree mirror the
+	// measured skew statistics of datasets.DegreeStats: the Gini
+	// coefficient of the total-degree distribution and the log-log
+	// power-law fit behind Fig 5.8.
+	Gini           float64
+	Alpha          float64
+	R2             float64
+	LowDegreeRatio float64
+	MaxDegree      int
+	AvgDegree      float64
 }
 
 // perfectSquare reports whether n = k².
@@ -46,19 +69,37 @@ func perfectSquare(n int) bool {
 //	  Compute/Ingress > 1        → HDRF/Oblivious
 //	  Compute/Ingress ≤ 1        → Grid
 func PowerGraph(w Workload) string {
+	s, _ := powerGraphTrace(w)
+	return s
+}
+
+// powerGraphTrace walks Fig 5.9 and records the branch taken at each node.
+func powerGraphTrace(w Workload) (string, []string) {
 	switch w.Class {
 	case graph.LowDegree:
-		return "HDRF"
+		return "HDRF", []string{"low-degree graph → HDRF/Oblivious (Fig 5.9)"}
 	case graph.HeavyTailed:
 		if perfectSquare(w.Machines) {
-			return "Grid"
+			return "Grid", []string{
+				"heavy-tailed graph",
+				fmt.Sprintf("%d machines form a perfect square → Grid", w.Machines),
+			}
 		}
-		return "HDRF"
+		return "HDRF", []string{
+			"heavy-tailed graph",
+			fmt.Sprintf("%d machines are not a perfect square → HDRF/Oblivious", w.Machines),
+		}
 	default: // power-law / other
 		if w.ComputeIngressRatio > 1 {
-			return "HDRF"
+			return "HDRF", []string{
+				"power-law graph",
+				fmt.Sprintf("compute/ingress ratio %.2f > 1 (long job) → HDRF/Oblivious", w.ComputeIngressRatio),
+			}
 		}
-		return "Grid"
+		return "Grid", []string{
+			"power-law graph",
+			fmt.Sprintf("compute/ingress ratio %.2f ≤ 1 (short job) → Grid", w.ComputeIngressRatio),
+		}
 	}
 }
 
@@ -66,33 +107,59 @@ func PowerGraph(w Workload) string {
 // natural application on a non-low-degree graph prefers Hybrid, and the
 // non-square fallback for heavy-tailed graphs is Hybrid too (§6.4.4).
 func PowerLyra(w Workload) string {
+	s, _ := powerLyraTrace(w)
+	return s
+}
+
+// powerLyraTrace walks Fig 6.6 and records the branch taken at each node.
+func powerLyraTrace(w Workload) (string, []string) {
 	if w.Class == graph.LowDegree {
-		return "Oblivious"
+		return "Oblivious", []string{"low-degree graph → Oblivious (Fig 6.6; even for natural apps, §6.4.4)"}
 	}
 	if w.NaturalApp {
-		return "Hybrid"
+		return "Hybrid", []string{
+			fmt.Sprintf("%s graph", w.Class),
+			"natural application (gathers one direction, scatters the other) → Hybrid",
+		}
 	}
 	switch w.Class {
 	case graph.HeavyTailed:
 		if perfectSquare(w.Machines) {
-			return "Grid"
+			return "Grid", []string{
+				"heavy-tailed graph, non-natural application",
+				fmt.Sprintf("%d machines form a perfect square → Grid", w.Machines),
+			}
 		}
-		return "Hybrid"
+		return "Hybrid", []string{
+			"heavy-tailed graph, non-natural application",
+			fmt.Sprintf("%d machines are not a perfect square → Hybrid", w.Machines),
+		}
 	default:
 		if w.ComputeIngressRatio > 1 {
-			return "Oblivious"
+			return "Oblivious", []string{
+				"power-law graph, non-natural application",
+				fmt.Sprintf("compute/ingress ratio %.2f > 1 (long job) → Oblivious", w.ComputeIngressRatio),
+			}
 		}
-		return "Grid"
+		return "Grid", []string{
+			"power-law graph, non-natural application",
+			fmt.Sprintf("compute/ingress ratio %.2f ≤ 1 (short job) → Grid", w.ComputeIngressRatio),
+		}
 	}
 }
 
 // GraphX is the native-strategies rule of thumb (§7.4): Canonical Random
 // for low-degree/high-diameter graphs, 2D for power-law-like graphs.
 func GraphX(w Workload) string {
+	s, _ := graphXTrace(w)
+	return s
+}
+
+func graphXTrace(w Workload) (string, []string) {
 	if w.Class == graph.LowDegree {
-		return "CanonicalRandom"
+		return "CanonicalRandom", []string{"low-degree graph → Canonical Random (§7.4)"}
 	}
-	return "2D"
+	return "2D", []string{fmt.Sprintf("%s graph → 2D (§7.4)", w.Class)}
 }
 
 // GraphXAll is the decision tree of Fig 9.3 (all strategies ported into
@@ -103,30 +170,35 @@ func GraphX(w Workload) string {
 //	  Compute/Ingress high → HDRF/Oblivious
 //	Power-law/other        → 2D
 func GraphXAll(w Workload) string {
-	if w.Class == graph.LowDegree {
-		if w.ComputeIngressRatio > 1 {
-			return "HDRF"
-		}
-		return "CanonicalRandom"
-	}
-	return "2D"
+	s, _ := graphXAllTrace(w)
+	return s
 }
 
-// Recommend dispatches to the tree for the given system. The
-// PowerLyra-All tree equals PowerLyra's with "HDRF/Oblivious" merged
-// (§8.2.1), so it shares the PowerLyra tree here.
-func Recommend(sys partition.System, w Workload) (string, error) {
-	switch sys {
-	case partition.PowerGraph:
-		return PowerGraph(w), nil
-	case partition.PowerLyra, partition.PowerLyraAll:
-		return PowerLyra(w), nil
-	case partition.GraphX:
-		return GraphX(w), nil
-	case partition.GraphXAll:
-		return GraphXAll(w), nil
+// graphXAllTrace walks Fig 9.3 and records the branch taken at each node.
+func graphXAllTrace(w Workload) (string, []string) {
+	if w.Class == graph.LowDegree {
+		if w.ComputeIngressRatio > 1 {
+			return "HDRF", []string{
+				"low-degree graph",
+				fmt.Sprintf("compute/ingress ratio %.2f > 1 (long job) → HDRF/Oblivious", w.ComputeIngressRatio),
+			}
+		}
+		return "CanonicalRandom", []string{
+			"low-degree graph",
+			fmt.Sprintf("compute/ingress ratio %.2f ≤ 1 (short job) → Canonical Random", w.ComputeIngressRatio),
+		}
 	}
-	return "", fmt.Errorf("decision: unknown system %q", sys)
+	return "2D", []string{fmt.Sprintf("%s graph → 2D (Fig 9.3)", w.Class)}
+}
+
+// Recommend is the strategy-only form of PaperTrees().Recommend, kept for
+// callers that need no trace.
+func Recommend(sys partition.System, w Workload) (string, error) {
+	rec, err := PaperTrees().Recommend(sys, w)
+	if err != nil {
+		return "", err
+	}
+	return rec.Strategy, nil
 }
 
 // Avoid lists strategies the paper recommends against for a system, with

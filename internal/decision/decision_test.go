@@ -103,6 +103,89 @@ func TestRecommendationsAreRunnable(t *testing.T) {
 	}
 }
 
+// TestPaperTreesReproduceEveryLeaf drives the Rule-source form of the
+// trees through every leaf of Figs 5.9, 6.6 and 9.3 and pins both the
+// strategy and the presence of an explanation trace. This is the contract
+// the refactor must hold: expressing the trees as a pluggable Rule beside
+// the empirical advisor changes nothing about what they answer.
+func TestPaperTreesReproduceEveryLeaf(t *testing.T) {
+	rule := PaperTrees()
+	if rule.Name() != "paper-tree" {
+		t.Fatalf("rule name %q", rule.Name())
+	}
+	cases := []struct {
+		sys  partition.System
+		w    Workload
+		want string
+	}{
+		// Fig 5.9, all five leaves.
+		{partition.PowerGraph, Workload{Class: graph.LowDegree, Machines: 25}, "HDRF"},
+		{partition.PowerGraph, Workload{Class: graph.HeavyTailed, Machines: 25}, "Grid"},
+		{partition.PowerGraph, Workload{Class: graph.HeavyTailed, Machines: 24}, "HDRF"},
+		{partition.PowerGraph, Workload{Class: graph.PowerLaw, Machines: 25, ComputeIngressRatio: 10}, "HDRF"},
+		{partition.PowerGraph, Workload{Class: graph.PowerLaw, Machines: 25, ComputeIngressRatio: 0.5}, "Grid"},
+		// Fig 6.6, all six leaves (low-degree wins over natural, §6.4.4).
+		{partition.PowerLyra, Workload{Class: graph.LowDegree, NaturalApp: true}, "Oblivious"},
+		{partition.PowerLyra, Workload{Class: graph.HeavyTailed, NaturalApp: true, Machines: 16}, "Hybrid"},
+		{partition.PowerLyra, Workload{Class: graph.HeavyTailed, Machines: 16}, "Grid"},
+		{partition.PowerLyra, Workload{Class: graph.HeavyTailed, Machines: 10}, "Hybrid"},
+		{partition.PowerLyra, Workload{Class: graph.PowerLaw, Machines: 16, ComputeIngressRatio: 5}, "Oblivious"},
+		{partition.PowerLyra, Workload{Class: graph.PowerLaw, Machines: 16, ComputeIngressRatio: 0.2}, "Grid"},
+		// PowerLyra-All shares the Fig 6.6 walk (§8.2.1).
+		{partition.PowerLyraAll, Workload{Class: graph.PowerLaw, NaturalApp: true, Machines: 16}, "Hybrid"},
+		{partition.PowerLyraAll, Workload{Class: graph.LowDegree}, "Oblivious"},
+		// §7.4 rule of thumb, both leaves.
+		{partition.GraphX, Workload{Class: graph.LowDegree}, "CanonicalRandom"},
+		{partition.GraphX, Workload{Class: graph.HeavyTailed}, "2D"},
+		{partition.GraphX, Workload{Class: graph.PowerLaw}, "2D"},
+		// Fig 9.3, all three leaves.
+		{partition.GraphXAll, Workload{Class: graph.LowDegree, ComputeIngressRatio: 0.5}, "CanonicalRandom"},
+		{partition.GraphXAll, Workload{Class: graph.LowDegree, ComputeIngressRatio: 8}, "HDRF"},
+		{partition.GraphXAll, Workload{Class: graph.PowerLaw}, "2D"},
+	}
+	for _, tc := range cases {
+		rec, err := rule.Recommend(tc.sys, tc.w)
+		if err != nil {
+			t.Fatalf("%s %+v: %v", tc.sys, tc.w, err)
+		}
+		if rec.Strategy != tc.want {
+			t.Errorf("%s %+v = %s, want %s", tc.sys, tc.w, rec.Strategy, tc.want)
+		}
+		if rec.Strategy != Recommend2(t, tc.sys, tc.w) {
+			t.Errorf("%s: Rule and legacy Recommend disagree", tc.sys)
+		}
+		if len(rec.Explanation) == 0 {
+			t.Errorf("%s %+v: empty explanation trace", tc.sys, tc.w)
+		}
+		if rec.Source != "paper-tree" || rec.Confidence != 1 {
+			t.Errorf("%s: source %q confidence %g", tc.sys, rec.Source, rec.Confidence)
+		}
+	}
+	if _, err := rule.Recommend(partition.System("bogus"), Workload{}); err == nil {
+		t.Error("unknown system accepted by PaperTrees")
+	}
+}
+
+// Recommend2 is the legacy dispatch, asserted equal to the Rule form.
+func Recommend2(t *testing.T, sys partition.System, w Workload) string {
+	t.Helper()
+	s, err := Recommend(sys, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSystems(t *testing.T) {
+	if got := Systems(false); len(got) != 4 {
+		t.Errorf("Systems(false) = %v", got)
+	}
+	all := Systems(true)
+	if len(all) != 5 || all[4] != partition.PowerLyraAll {
+		t.Errorf("Systems(true) = %v", all)
+	}
+}
+
 func TestAvoidLists(t *testing.T) {
 	if m := Avoid(partition.PowerLyra); m["H-Ginger"] == "" || m["Random"] == "" {
 		t.Error("PowerLyra avoid list missing H-Ginger/Random")

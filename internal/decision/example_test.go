@@ -1,0 +1,33 @@
+package decision_test
+
+import (
+	"fmt"
+
+	"graphpart/internal/decision"
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+)
+
+// ExamplePowerGraph walks the Fig 5.9 tree for a long job on a power-law
+// web graph, then replays the same workload through the Rule form to show
+// the explanation trace every recommendation source carries.
+func ExamplePowerGraph() {
+	w := decision.Workload{
+		Class:               graph.PowerLaw,
+		Machines:            25,
+		ComputeIngressRatio: 4,
+	}
+	fmt.Println(decision.PowerGraph(w))
+
+	rec, err := decision.PaperTrees().Recommend(partition.PowerGraph, w)
+	if err != nil {
+		panic(err)
+	}
+	for _, line := range rec.Explanation {
+		fmt.Println(line)
+	}
+	// Output:
+	// HDRF
+	// power-law graph
+	// compute/ingress ratio 4.00 > 1 (long job) → HDRF/Oblivious
+}

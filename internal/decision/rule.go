@@ -1,0 +1,84 @@
+package decision
+
+import (
+	"fmt"
+
+	"graphpart/internal/partition"
+	"graphpart/internal/report"
+)
+
+// Recommendation is one rule's answer for one system: the strategy to use
+// plus the evidence behind it. Predicted carries the rule's expected
+// metrics for the recommended strategy in the shared report.Cell schema
+// (empirical rules fill it; the paper trees make no quantitative claim).
+type Recommendation struct {
+	System   partition.System `json:"system"`
+	Strategy string           `json:"strategy"`
+	// Source names the rule that produced the recommendation
+	// ("paper-tree", "empirical").
+	Source string `json:"source"`
+	// Confidence is the rule's own estimate in [0,1]. The paper trees
+	// always claim 1; empirical rules report the fraction of measured
+	// workloads at the chosen model leaf for which the recommended
+	// strategy was (near-)best.
+	Confidence float64 `json:"confidence"`
+	// Explanation is the decision trace: one line per branch taken.
+	Explanation []string `json:"explanation,omitempty"`
+	// Predicted are the expected metrics for the recommended strategy.
+	Predicted []report.Cell `json:"predicted,omitempty"`
+}
+
+// Rule is a pluggable recommendation source. PaperTrees implements it with
+// the paper's Figs 5.9/6.6/9.3; internal/advisor implements it with a
+// model learned from measured bench reports. cmd/decide runs every
+// configured Rule side by side.
+type Rule interface {
+	// Name identifies the source in output and Recommendation.Source.
+	Name() string
+	// Recommend picks a strategy for the system under the workload.
+	Recommend(sys partition.System, w Workload) (Recommendation, error)
+}
+
+// Systems returns the systems rules recommend for, in the paper's order.
+// The first four are the default cmd/decide set; all six include the
+// thesis's "all strategies in one system" configurations.
+func Systems(all bool) []partition.System {
+	base := []partition.System{
+		partition.PowerGraph, partition.PowerLyra,
+		partition.GraphX, partition.GraphXAll,
+	}
+	if !all {
+		return base
+	}
+	return append(base, partition.PowerLyraAll)
+}
+
+// PaperTrees returns the Rule wrapping the paper's decision trees. The
+// PowerLyra-All tree equals PowerLyra's with "HDRF/Oblivious" merged
+// (§8.2.1), so both systems share the Fig 6.6 walk.
+func PaperTrees() Rule { return paperTrees{} }
+
+type paperTrees struct{}
+
+func (paperTrees) Name() string { return "paper-tree" }
+
+func (paperTrees) Recommend(sys partition.System, w Workload) (Recommendation, error) {
+	var strategy string
+	var trace []string
+	switch sys {
+	case partition.PowerGraph:
+		strategy, trace = powerGraphTrace(w)
+	case partition.PowerLyra, partition.PowerLyraAll:
+		strategy, trace = powerLyraTrace(w)
+	case partition.GraphX:
+		strategy, trace = graphXTrace(w)
+	case partition.GraphXAll:
+		strategy, trace = graphXAllTrace(w)
+	default:
+		return Recommendation{}, fmt.Errorf("decision: unknown system %q", sys)
+	}
+	return Recommendation{
+		System: sys, Strategy: strategy, Source: "paper-tree",
+		Confidence: 1, Explanation: trace,
+	}, nil
+}

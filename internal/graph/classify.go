@@ -1,6 +1,9 @@
 package graph
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // DegreeClass is the paper's three-way degree-distribution taxonomy (§4.2,
 // Table 4.2, and the decision trees in Figs 5.9/6.6/9.3): road networks are
@@ -32,6 +35,20 @@ func (c DegreeClass) String() string {
 		return "power-law"
 	}
 	return "unknown"
+}
+
+// ParseDegreeClass inverts String: it maps the serialized class names used
+// by dataset manifests back to the taxonomy.
+func ParseDegreeClass(s string) (DegreeClass, error) {
+	switch s {
+	case "low-degree":
+		return LowDegree, nil
+	case "heavy-tailed":
+		return HeavyTailed, nil
+	case "power-law":
+		return PowerLaw, nil
+	}
+	return LowDegree, fmt.Errorf("graph: unknown degree class %q", s)
 }
 
 // PowerLawFit holds the result of a log-log least-squares fit of a degree

@@ -22,12 +22,13 @@ var allowedMisses = map[string][]string{
 // full run so that `go test -short` keeps the other ~24 experiments and
 // finishes in well under 20s.
 var slowExperiments = map[string]bool{
-	"fig5.3": true, // strategy×app engine sweep (shared by 5.3–5.5)
-	"fig5.4": true, // same sweep, compute-time axis
-	"fig5.5": true, // same sweep, peak-memory axis
-	"fig8.4": true, // utilization box plots over every app
-	"fig5.9": true, // compute/ingress break-even sweep
-	"tab5.1": true, // Grid-vs-HDRF across every cluster shape
+	"fig5.3":     true, // strategy×app engine sweep (shared by 5.3–5.5)
+	"fig5.4":     true, // same sweep, compute-time axis
+	"fig5.5":     true, // same sweep, peak-memory axis
+	"fig8.4":     true, // utilization box plots over every app
+	"fig5.9":     true, // compute/ingress break-even sweep
+	"tab5.1":     true, // Grid-vs-HDRF across every cluster shape
+	"adv.regret": true, // uk-web engine sweeps feeding the advisor fit
 }
 
 func TestAllExperimentsReproducePaperShapes(t *testing.T) {
