@@ -51,7 +51,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the machine-readable report to this file ('-' for stdout)")
 		csvOut   = flag.String("csv", "", "write the typed cells as CSV to this file ('-' for stdout)")
 		compare  = flag.String("compare", "", "baseline report to diff this run against; regressions exit non-zero")
-		tol      = flag.Float64("tolerance", report.DefaultRelTol, "relative tolerance for -compare cell diffs")
+		tol      = flag.Float64("tolerance", report.DefaultRelTol, "relative tolerance for -compare cell diffs; throughput cells (units ending in /s) are wall-clock and always get at least report.ThroughputRelTol")
 		filterS  = flag.String("filter", "", "dimension filter for report cells, e.g. dataset=road,strategy=HDRF")
 		cacheDir = flag.String("cache", "", "dataset disk-cache directory: built graphs persist as .csrg files and later runs load them binary instead of regenerating (default $"+datasets.CacheEnv+")")
 	)

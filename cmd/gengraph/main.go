@@ -15,6 +15,12 @@
 //	gengraph -kind powerlaw -n 50000 -alpha 2.0 -o pl.txt
 //	gengraph -kind web -n 50000 -alpha 1.8 -o web.txt
 //	gengraph -convert road.txt -o road.csrg        # streaming, either way
+//	gengraph -convert g.csrg -format v1 -o g1.csrg # re-encode v2 → v1
+//
+// Binary outputs default to .csrg format v2 (delta+varint compressed edge
+// blocks); -format v1 selects the fixed-width layout, whose loads can be
+// memory-mapped without copying. Both convert to each other and to text
+// losslessly — edge order is preserved exactly.
 //
 // With -stream, generators that can emit edges incrementally (road) write
 // batches straight to the output without ever materializing the edge list;
@@ -48,9 +54,11 @@ func main() {
 		stream   = flag.Bool("stream", false, "stream edge batches to the output without materializing the graph (road only)")
 		batch    = flag.Int("batch", 0, "edges per stream batch (0 = default)")
 		convert  = flag.String("convert", "", "convert this graph file (text or .csrg, sniffed) to -o's format, streaming")
+		format   = flag.String("format", "v2", "binary .csrg version for outputs: v1 (fixed-width, mmap-able) or v2 (compressed blocks)")
 		manifest = flag.Bool("manifest", false, "print the dataset's manifest (sizes, degree-skew stats, provenance) as JSON and exit")
 	)
 	flag.Parse()
+	version := formatVersion(*format)
 
 	switch {
 	case *manifest:
@@ -68,7 +76,7 @@ func main() {
 		if *out == "" {
 			log.Fatal("gengraph: -convert needs -o FILE")
 		}
-		if err := convertFile(*convert, *out, *batch); err != nil {
+		if err := convertFile(*convert, *out, *batch, version); err != nil {
 			log.Fatal(err)
 		}
 	case *stream:
@@ -78,17 +86,30 @@ func main() {
 		if *kind != "road" {
 			log.Fatalf("gengraph: -stream supports -kind road (got %q); the degree-sequence generators need the whole stub multiset", *kind)
 		}
-		if err := streamRoad(*n, *seed, *batch, *out); err != nil {
+		if err := streamRoad(*n, *seed, *batch, *out, version); err != nil {
 			log.Fatal(err)
 		}
 	default:
-		materialize(*dataset, *scale, *kind, *n, *m, *alpha, *seed, *out)
+		materialize(*dataset, *scale, *kind, *n, *m, *alpha, *seed, *out, version)
+	}
+}
+
+// formatVersion maps the -format flag to a .csrg writer version.
+func formatVersion(s string) int {
+	switch s {
+	case "v1":
+		return graph.CSRVersion1
+	case "v2":
+		return graph.CSRVersion2
+	default:
+		log.Fatalf("gengraph: unknown -format %q (want v1 or v2)", s)
+		return 0
 	}
 }
 
 // materialize builds the requested graph in memory and writes it in the
 // format the output path selects.
-func materialize(dataset string, scale int, kind string, n, m int, alpha float64, seed uint64, out string) {
+func materialize(dataset string, scale int, kind string, n, m int, alpha float64, seed uint64, out string, version int) {
 	var g *graph.Graph
 	var err error
 	switch {
@@ -120,7 +141,7 @@ func materialize(dataset string, scale int, kind string, n, m int, alpha float64
 	}
 
 	if graph.IsCSRPath(out) {
-		if err := graph.SaveCSR(g, out); err != nil {
+		if err := graph.SaveCSRVersion(g, out, version); err != nil {
 			log.Fatal(err)
 		}
 	} else {
@@ -143,7 +164,7 @@ func materialize(dataset string, scale int, kind string, n, m int, alpha float64
 
 // streamRoad emits a road lattice in O(batch) memory, to a text edge list or
 // (with a .csrg output path) the binary format via the streaming CSR writer.
-func streamRoad(n int, seed uint64, batch int, out string) error {
+func streamRoad(n int, seed uint64, batch int, out string, version int) error {
 	side := latticeSide(n)
 	var edges int64
 	if graph.IsCSRPath(out) {
@@ -152,7 +173,7 @@ func streamRoad(n int, seed uint64, batch int, out string) error {
 			return err
 		}
 		defer f.Close()
-		cw, err := graph.NewCSRWriter(f, fmt.Sprintf("road-%dx%d", side, side))
+		cw, err := graph.NewCSRWriterVersion(f, fmt.Sprintf("road-%dx%d", side, side), version)
 		if err != nil {
 			return err
 		}
@@ -201,7 +222,7 @@ func streamRoad(n int, seed uint64, batch int, out string) error {
 // by extension) without materializing the edge list. The output goes to a
 // temp file renamed into place on success, so a failed conversion never
 // leaves a partial dst behind — and converting a file onto itself works.
-func convertFile(src, dst string, batch int) error {
+func convertFile(src, dst string, batch, version int) error {
 	f, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".tmp-*")
 	if err != nil {
 		return err
@@ -211,7 +232,7 @@ func convertFile(src, dst string, batch int) error {
 
 	var total int64
 	if graph.IsCSRPath(dst) {
-		cw, err := graph.NewCSRWriter(f, src)
+		cw, err := graph.NewCSRWriterVersion(f, src, version)
 		if err != nil {
 			return err
 		}

@@ -166,6 +166,7 @@ func TestExperimentIDsCoverEveryPaperArtifact(t *testing.T) {
 		"fig5.9",
 		"tab1.1",
 		"abl.lambda", "abl.threshold", "abl.loaders", "abl.locality", "abl.engine",
+		"load.speed", "ing.scale",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -328,7 +328,10 @@ func writeCache(dir, name string, scale int, g *graph.Graph) {
 		return
 	}
 	defer os.Remove(tmp.Name())
-	if err := graph.WriteCSR(g, tmp); err != nil {
+	// Cache entries use format v2: the compressed blocks keep the cache
+	// several times smaller and decode on all cores; the adjacency sections
+	// v1 could embed are rebuilt lazily on load instead.
+	if err := graph.WriteCSRVersion(g, tmp, graph.CSRVersion2); err != nil {
 		tmp.Close()
 		return
 	}

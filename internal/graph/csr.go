@@ -14,23 +14,35 @@ import (
 //
 // Text edge lists (the storage format of the paper's datasets, §4.2) cost a
 // line scan plus two integer parses per edge on every load. The .csrg format
-// stores the same graph as little-endian fixed-width records so loading is
-// I/O-bound: one bulk read, then a straight uint32 decode. A file carries the
-// edge list in its original stream order — partitioning strategies assign by
-// edge index, so order is part of graph identity — and optionally the
-// prebuilt CSR adjacency sections, making EnsureCSR free after load.
+// stores the same graph in little-endian binary so loading is I/O-bound. A
+// file carries the edge list in its original stream order — partitioning
+// strategies assign by edge index, so order is part of graph identity.
+//
+// Two payload layouts share one header:
+//
+//   - version 1 stores fixed-width records: every section is a flat array
+//     whose length is known from the header, so a reader can mmap the file
+//     and slice the sections at fixed offsets without copying (LoadCSR does
+//     exactly that where the platform allows). Optionally the prebuilt CSR
+//     adjacency sections follow the edges, making EnsureCSR free after load.
+//   - version 2 stores the edge list as delta+varint-compressed blocks
+//     (see csr_v2.go): files are several times smaller and the per-block
+//     headers let independent blocks decode on parallel workers. v2 files
+//     carry no adjacency sections; readers rebuild adjacency lazily.
 //
 // Layout (all integers little-endian):
 //
 //	header:
 //	  [0:4)   magic "CSRG"
-//	  [4:6)   uint16 format version (currently 1)
-//	  [6:8)   uint16 flags (bit 0: CSR adjacency sections present)
+//	  [4:6)   uint16 format version (1 or 2)
+//	  [6:8)   uint16 flags (v1 bit 0: CSR adjacency sections present; v2: none)
 //	  [8:16)  uint64 numVertices
 //	  [16:24) uint64 numEdges
 //	  [24:28) uint32 graph-name length
-//	  [28:..) graph name (UTF-8)
-//	payload:
+//	  [28:..) graph name (UTF-8; writers pad with NUL bytes so the payload
+//	          starts 8-byte aligned — readers strip trailing NULs, and files
+//	          written before the padding existed still decode byte-identically)
+//	v1 payload:
 //	  edges     2·numEdges   × uint32 (src,dst interleaved, stream order)
 //	  — when flags bit 0 is set —
 //	  outIndex  numVertices+1 × uint32
@@ -39,21 +51,35 @@ import (
 //	  inIndex   numVertices+1 × uint32
 //	  inAdj     numEdges      × uint32
 //	  inEdge    numEdges      × uint32
+//	v2 payload:
+//	  uint32 numBlocks, then numBlocks compressed edge blocks (csr_v2.go)
 //	footer:
 //	  [0:4) uint32 CRC-32C (Castagnoli) of the payload
 //
-// Every section is a flat array whose length is known from the header, so a
-// reader can mmap the file and slice sections at fixed offsets; LoadCSR reads
-// the file in one call and decodes without per-line work. The trailing
-// checksum detects bit rot and torn writes; a wrong header length detects
-// truncation before any decode happens.
+// For v2 the checksum covers the payload *after* the 4-byte block count:
+// the streaming writer only learns the count at Close and patches it in
+// place, which must not invalidate the already-streamed CRC. The count is
+// protected structurally instead — the blocks must fill the payload exactly
+// and their edge counts must sum to the header's numEdges.
+//
+// The trailing checksum detects bit rot and torn writes; a wrong header
+// length detects truncation before any decode happens.
 
 // CSRMagic is the 4-byte signature at the start of every .csrg file.
 const CSRMagic = "CSRG"
 
-// CSRVersion is the current .csrg format version. Readers reject other
-// versions.
-const CSRVersion = 1
+// The .csrg format versions this package reads and writes. Version 1 is the
+// fixed-width mmap-able layout; version 2 compresses the edge section into
+// independently decodable delta+varint blocks. Readers reject anything else
+// by name, so a future v3 fails loudly instead of misparsing.
+const (
+	CSRVersion1 = 1
+	CSRVersion2 = 2
+)
+
+// CSRVersion is the default version written by WriteCSR and SaveCSR — the
+// fixed-width v1 layout, which keeps the zero-copy mmap load path available.
+const CSRVersion = CSRVersion1
 
 // CSRExt is the conventional file extension for the binary graph format.
 const CSRExt = ".csrg"
@@ -73,9 +99,9 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // --- writing ----------------------------------------------------------
 
-// WriteCSR writes g in .csrg form, including the CSR adjacency sections so a
-// later LoadCSR returns a graph whose EnsureCSR is a no-op. The edge section
-// preserves g.Edges order exactly.
+// WriteCSR writes g in .csrg v1 form, including the CSR adjacency sections
+// so a later LoadCSR returns a graph whose EnsureCSR is a no-op. The edge
+// section preserves g.Edges order exactly.
 func WriteCSR(g *Graph, w io.Writer) error {
 	m := g.NumEdges()
 	if m > csrMaxEdges {
@@ -83,7 +109,7 @@ func WriteCSR(g *Graph, w io.Writer) error {
 	}
 	g.EnsureCSR()
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if err := writeCSRHeader(bw, g.Name, csrFlagHasCSR, uint64(g.NumVertices()), uint64(m)); err != nil {
+	if _, err := writeCSRHeader(bw, g.Name, CSRVersion1, csrFlagHasCSR, uint64(g.NumVertices()), uint64(m)); err != nil {
 		return err
 	}
 	crc := uint32(0)
@@ -120,33 +146,60 @@ func WriteCSR(g *Graph, w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveCSR writes g to a .csrg file at path.
+// WriteCSRVersion writes g in the requested .csrg format version: 1 for the
+// fixed-width mmap-able layout (with prebuilt adjacency sections), 2 for the
+// compressed block layout (smaller files, parallel decode, no adjacency).
+func WriteCSRVersion(g *Graph, w io.Writer, version int) error {
+	switch version {
+	case CSRVersion1:
+		return WriteCSR(g, w)
+	case CSRVersion2:
+		return WriteCSR2(g, w)
+	default:
+		return fmt.Errorf("csrg %s: unknown writer version %d (have %d and %d)", g.Name, version, CSRVersion1, CSRVersion2)
+	}
+}
+
+// SaveCSR writes g to a .csrg v1 file at path.
 func SaveCSR(g *Graph, path string) error {
+	return SaveCSRVersion(g, path, CSRVersion1)
+}
+
+// SaveCSRVersion writes g to a .csrg file at path in the given format version.
+func SaveCSRVersion(g *Graph, path string, version int) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteCSR(g, f); err != nil {
+	if err := WriteCSRVersion(g, f, version); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-func writeCSRHeader(w io.Writer, name string, flags uint16, numVertices, numEdges uint64) error {
-	if len(name) > csrMaxNameLen {
-		name = name[:csrMaxNameLen]
+// writeCSRHeader emits the fixed header plus the (NUL-padded) name and
+// returns the total header length — the file offset where the payload
+// starts. The padding rounds that offset up to a multiple of 8 so the v1
+// edge section can be reinterpreted in place by the mmap load path.
+func writeCSRHeader(w io.Writer, name string, version, flags uint16, numVertices, numEdges uint64) (int, error) {
+	if len(name) > csrMaxNameLen-8 {
+		name = name[:csrMaxNameLen-8]
 	}
-	hdr := make([]byte, csrHeaderFixed+len(name))
+	padded := len(name)
+	if rem := (csrHeaderFixed + padded) % 8; rem != 0 {
+		padded += 8 - rem
+	}
+	hdr := make([]byte, csrHeaderFixed+padded)
 	copy(hdr[0:4], CSRMagic)
-	binary.LittleEndian.PutUint16(hdr[4:6], CSRVersion)
+	binary.LittleEndian.PutUint16(hdr[4:6], version)
 	binary.LittleEndian.PutUint16(hdr[6:8], flags)
 	binary.LittleEndian.PutUint64(hdr[8:16], numVertices)
 	binary.LittleEndian.PutUint64(hdr[16:24], numEdges)
-	binary.LittleEndian.PutUint32(hdr[24:28], uint32(len(name)))
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(padded))
 	copy(hdr[csrHeaderFixed:], name)
 	_, err := w.Write(hdr)
-	return err
+	return len(hdr), err
 }
 
 // encode32s streams a 32-bit section through a reused chunk buffer into
@@ -197,6 +250,7 @@ func encodeEdges(edges []Edge, sink func([]byte) error) error {
 
 // csrHeader is the decoded fixed header plus name.
 type csrHeader struct {
+	version     uint16
 	flags       uint16
 	numVertices uint64
 	numEdges    uint64
@@ -206,6 +260,8 @@ type csrHeader struct {
 func (h csrHeader) hasCSR() bool { return h.flags&csrFlagHasCSR != 0 }
 
 // payloadLen returns the byte length of the payload the header announces.
+// Only v1 payloads have a header-derivable length; v2 block sections are
+// walked block by block.
 func (h csrHeader) payloadLen() int64 {
 	n := 8 * int64(h.numEdges)
 	if h.hasCSR() {
@@ -222,11 +278,15 @@ func decodeCSRHeader(src string, b []byte) (csrHeader, int, error) {
 	if string(b[0:4]) != CSRMagic {
 		return h, 0, fmt.Errorf("csrg %s: bad magic %q (not a .csrg file)", src, b[0:4])
 	}
-	if v := binary.LittleEndian.Uint16(b[4:6]); v != CSRVersion {
-		return h, 0, fmt.Errorf("csrg %s: unsupported format version %d (reader supports %d)", src, v, CSRVersion)
+	h.version = binary.LittleEndian.Uint16(b[4:6])
+	if h.version < CSRVersion1 || h.version > CSRVersion2 {
+		return h, 0, fmt.Errorf("csrg %s: unsupported format version %d (reader supports %d–%d)", src, h.version, CSRVersion1, CSRVersion2)
 	}
 	h.flags = binary.LittleEndian.Uint16(b[6:8])
-	if h.flags&^uint16(csrFlagHasCSR) != 0 {
+	switch {
+	case h.version == CSRVersion2 && h.flags != 0:
+		return h, 0, fmt.Errorf("csrg %s: version 2 carries no flags, got %#x", src, h.flags)
+	case h.flags&^uint16(csrFlagHasCSR) != 0:
 		return h, 0, fmt.Errorf("csrg %s: unknown flags %#x", src, h.flags)
 	}
 	h.numVertices = binary.LittleEndian.Uint64(b[8:16])
@@ -245,21 +305,78 @@ func decodeCSRHeader(src string, b []byte) (csrHeader, int, error) {
 	if len(b) < end {
 		return h, 0, fmt.Errorf("csrg %s: truncated header name (want %d bytes, have %d)", src, end, len(b))
 	}
-	h.name = string(b[csrHeaderFixed:end])
+	// Writers pad the name with NULs to align the payload; the padding is
+	// not part of the graph's identity.
+	h.name = strings.TrimRight(string(b[csrHeaderFixed:end]), "\x00")
 	return h, end, nil
 }
 
-// LoadCSR reads a .csrg file. The whole file is read in one call (the layout
-// is equally mmap-able: every section sits at a fixed offset computed from
-// the header) and decoded with bulk fixed-width conversions — no per-line
-// parsing — which is what makes binary loads I/O-bound. The payload checksum
-// is always verified.
+// CSRLoadOptions tunes LoadCSRWith.
+type CSRLoadOptions struct {
+	// DisableMmap forces the portable read-everything path even where the
+	// zero-copy memory-mapped path is available.
+	DisableMmap bool
+	// Workers bounds the goroutines decoding v2 edge blocks (≤0 means
+	// GOMAXPROCS). v1 decoding is a bulk copy (or a zero-copy alias) and
+	// ignores it.
+	Workers int
+}
+
+// LoadCSR reads a .csrg file through the fastest path the platform offers:
+// on little-endian unix the file is memory-mapped and the v1 sections are
+// sliced in place without copying (the payload checksum is still verified);
+// elsewhere — or when the mapping fails — the whole file is read in one call
+// and decoded with bulk fixed-width conversions. v2 files decode their
+// compressed edge blocks on parallel workers either way.
 func LoadCSR(path string) (*Graph, error) {
+	return LoadCSRWith(path, CSRLoadOptions{})
+}
+
+// LoadCSRWith is LoadCSR with explicit path selection — benchmarks use it to
+// pin the portable read path against the mmap path.
+func LoadCSRWith(path string, o CSRLoadOptions) (*Graph, error) {
+	if !o.DisableMmap && MmapSupported() {
+		if g, err, handled := loadCSRMmap(path, o); handled {
+			return g, err
+		}
+		// The mapping did not engage (empty file, mmap failure): fall
+		// through to the portable path, which reports precise errors.
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return decodeCSR(path, data)
+	return decodeCSRData(path, data, o, nil)
+}
+
+// loadCSRMmap maps the file and decodes from the mapping. handled is false
+// when mmap could not engage and the caller should fall back; when true, g
+// and err are the final result. A graph that aliases the mapping pins it via
+// g.mmap (unmapped by finalizer); otherwise the mapping is released here.
+func loadCSRMmap(path string, o CSRLoadOptions) (g *Graph, err error, handled bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err, true
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err, true
+	}
+	if fi.Size() < csrHeaderFixed || int64(int(fi.Size())) != fi.Size() {
+		return nil, nil, false
+	}
+	ref, err := mmapFile(f, fi.Size())
+	if err != nil {
+		return nil, nil, false
+	}
+	g, err = decodeCSRData(path, ref.data, o, ref)
+	if err != nil || g.mmap == nil {
+		// Decode failed, or nothing aliased the mapping (v2, misaligned
+		// legacy header): release it now instead of waiting for the GC.
+		ref.unmap()
+	}
+	return g, err, true
 }
 
 // ReadCSR reads a .csrg document from r (buffering it fully).
@@ -268,13 +385,20 @@ func ReadCSR(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeCSR("stream", data)
+	return decodeCSRData("stream", data, CSRLoadOptions{}, nil)
 }
 
-func decodeCSR(src string, data []byte) (*Graph, error) {
+// decodeCSRData decodes a whole in-memory (or memory-mapped) .csrg file.
+// When ref is non-nil, data is a read-only mapping the result may alias:
+// sections that can be reinterpreted in place (little-endian host, aligned
+// payload) become views into the mapping and g.mmap pins it.
+func decodeCSRData(src string, data []byte, o CSRLoadOptions, ref *mmapRef) (*Graph, error) {
 	h, off, err := decodeCSRHeader(src, data)
 	if err != nil {
 		return nil, err
+	}
+	if h.version == CSRVersion2 {
+		return decodeCSRv2(src, data, off, h, o)
 	}
 	want := int64(off) + h.payloadLen() + 4
 	if int64(len(data)) != want {
@@ -287,9 +411,25 @@ func decodeCSR(src string, data []byte) (*Graph, error) {
 
 	n := int(h.numVertices)
 	m := int(h.numEdges)
-	edges, maxID, err := decodeEdgeSection(src, payload[:8*m], uint32(n))
-	if err != nil {
-		return nil, err
+	var edges []Edge
+	var maxID VertexID
+	aliased := false
+	if ref != nil && m > 0 {
+		if ev := edgesView(payload[:8*m]); ev != nil {
+			// Zero-copy: the edge section already has the in-memory []Edge
+			// layout. Ids still need the same bounds check the copying
+			// decoder applies.
+			if maxID, err = scanEdgeIDs(src, ev, h.numVertices); err != nil {
+				return nil, err
+			}
+			edges, aliased = ev, true
+		}
+	}
+	if edges == nil {
+		edges, maxID, err = decodeEdgeSection(src, payload[:8*m], uint32(n))
+		if err != nil {
+			return nil, err
+		}
 	}
 	if m > 0 && int(maxID)+1 != n {
 		return nil, fmt.Errorf("csrg %s: header says %d vertices but max edge id is %d", src, n, maxID)
@@ -300,6 +440,9 @@ func decodeCSR(src string, data []byte) (*Graph, error) {
 	g := &Graph{Name: h.name, Edges: edges, numVertices: n}
 
 	if !h.hasCSR() {
+		if aliased {
+			g.mmap = ref
+		}
 		g.buildDegrees()
 		return g, nil
 	}
@@ -309,14 +452,37 @@ func decodeCSR(src string, data []byte) (*Graph, error) {
 		rest = rest[4*entries:]
 		return sec
 	}
-	g.outIndex = decodeIndexSection(next(n + 1))
-	g.outAdj = decodeU32Section(next(m))
-	g.outEdge = decodeIndexSection(next(m))
-	g.inIndex = decodeIndexSection(next(n + 1))
-	g.inAdj = decodeU32Section(next(m))
-	g.inEdge = decodeIndexSection(next(m))
+	nextIndex := func(entries int) []int32 {
+		sec := next(entries)
+		if ref != nil {
+			if v := i32View(sec); v != nil {
+				aliased = true
+				return v
+			}
+		}
+		return decodeIndexSection(sec)
+	}
+	nextU32 := func(entries int) []uint32 {
+		sec := next(entries)
+		if ref != nil {
+			if v := u32View(sec); v != nil {
+				aliased = true
+				return v
+			}
+		}
+		return decodeU32Section(sec)
+	}
+	g.outIndex = nextIndex(n + 1)
+	g.outAdj = nextU32(m)
+	g.outEdge = nextIndex(m)
+	g.inIndex = nextIndex(n + 1)
+	g.inAdj = nextU32(m)
+	g.inEdge = nextIndex(m)
 	if err := g.validateCSRSections(src); err != nil {
 		return nil, err
+	}
+	if aliased {
+		g.mmap = ref
 	}
 	// Degrees fall out of the index sections without another edge scan.
 	g.outDeg = make([]int32, n)
@@ -326,6 +492,24 @@ func decodeCSR(src string, data []byte) (*Graph, error) {
 		g.inDeg[v] = g.inIndex[v+1] - g.inIndex[v]
 	}
 	return g, nil
+}
+
+// scanEdgeIDs bounds-checks an aliased edge section without copying it and
+// returns the maximum vertex id seen.
+func scanEdgeIDs(src string, edges []Edge, numVertices uint64) (VertexID, error) {
+	var maxID VertexID
+	for i, e := range edges {
+		if uint64(e.Src) >= numVertices || uint64(e.Dst) >= numVertices {
+			return 0, fmt.Errorf("csrg %s: edge %d (%d→%d) outside declared vertex range [0,%d)", src, i, e.Src, e.Dst, numVertices)
+		}
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
+		}
+	}
+	return maxID, nil
 }
 
 // decodeEdgeChunk decodes len(b)/8 interleaved (src,dst) records from b
@@ -416,13 +600,21 @@ func (g *Graph) validateCSRSections(src string) error {
 // --- streaming --------------------------------------------------------
 
 // StreamCSR is StreamEdgeList for the binary format: it reads the edge
-// section of a .csrg stream in batches of batchSize edges, calling fn with
-// each batch's global offset. Memory stays O(batchSize). Any CSR adjacency
-// sections are read through (and the payload checksum verified) after the
-// edges are delivered.
+// section of a .csrg stream (either version) in batches of batchSize edges,
+// calling fn with each batch's global offset. Memory stays O(batchSize) for
+// v1 and O(block) for v2. Any v1 CSR adjacency sections are read through
+// (and the payload checksum verified) after the edges are delivered.
 //
 // It returns the total edge count and the maximum vertex id seen.
 func StreamCSR(name string, r io.Reader, batchSize int, fn func(offset int64, edges []Edge) error) (int64, VertexID, error) {
+	return StreamCSRParallel(name, r, batchSize, 1, fn)
+}
+
+// StreamCSRParallel is StreamCSR with the v2 block decode fanned out over up
+// to `workers` goroutines (≤0 means GOMAXPROCS); batches are still delivered
+// to fn in stream order, from one goroutine. v1 streams have no independent
+// blocks, so they always decode sequentially.
+func StreamCSRParallel(name string, r io.Reader, batchSize, workers int, fn func(offset int64, edges []Edge) error) (int64, VertexID, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
@@ -444,13 +636,20 @@ func StreamCSR(name string, r io.Reader, batchSize int, fn func(offset int64, ed
 	if err != nil {
 		return 0, 0, err
 	}
+	if h.version == CSRVersion2 {
+		return streamCSRv2(name, br, h, batchSize, workers, fn)
+	}
 
 	crc := uint32(0)
 	m := int64(h.numEdges)
 	var total int64
 	var maxID VertexID
-	buf := make([]byte, 8*batchSize)
-	batch := make([]Edge, batchSize)
+	bufp := getByteBuf(8 * batchSize)
+	defer putByteBuf(bufp)
+	buf := (*bufp)[:8*batchSize]
+	batchp := getEdgeBuf(batchSize)
+	defer putEdgeBuf(batchp)
+	batch := (*batchp)[:batchSize]
 	for total < m {
 		want := m - total
 		if want > int64(batchSize) {
@@ -491,6 +690,9 @@ func StreamCSR(name string, r io.Reader, batchSize int, fn func(offset int64, ed
 	if stored := binary.LittleEndian.Uint32(foot[:]); stored != crc {
 		return total, maxID, fmt.Errorf("csrg %s: payload checksum mismatch (%#08x != stored %#08x): file is corrupt", name, crc, stored)
 	}
+	if total > 0 && int64(maxID)+1 != int64(h.numVertices) {
+		return total, maxID, fmt.Errorf("csrg %s: header says %d vertices but max edge id is %d", name, h.numVertices, maxID)
+	}
 	return total, maxID, nil
 }
 
@@ -500,24 +702,59 @@ func StreamCSR(name string, r io.Reader, batchSize int, fn func(offset int64, ed
 // patched on Close); the written file carries no CSR sections — readers
 // rebuild adjacency lazily, exactly as with text edge lists.
 type CSRWriter struct {
-	ws     io.WriteSeeker
-	bw     *bufio.Writer
-	name   string
-	crc    uint32
-	edges  int64
-	maxID  VertexID
-	closed bool
-	err    error
+	ws      io.WriteSeeker
+	bw      *bufio.Writer
+	name    string
+	version int
+	hdrLen  int // payload start; v2 patches numBlocks here on Close
+	crc     uint32
+	edges   int64
+	maxID   VertexID
+	closed  bool
+	err     error
+
+	// v2 state: edges accumulate into block until it holds csrV2BlockEdges,
+	// then the block is compressed through enc and written.
+	block     []Edge
+	enc       []byte
+	numBlocks uint32
 }
 
-// NewCSRWriter starts a .csrg document on ws (typically an *os.File) and
+// NewCSRWriter starts a v1 .csrg document on ws (typically an *os.File) and
 // writes a placeholder header.
 func NewCSRWriter(ws io.WriteSeeker, name string) (*CSRWriter, error) {
-	w := &CSRWriter{ws: ws, bw: bufio.NewWriterSize(ws, 1<<20), name: name}
-	if err := writeCSRHeader(w.bw, name, 0, 0, 0); err != nil {
+	return NewCSRWriterVersion(ws, name, CSRVersion1)
+}
+
+// NewCSRWriterVersion is NewCSRWriter with an explicit format version:
+// version 2 streams delta+varint-compressed edge blocks instead of
+// fixed-width records.
+func NewCSRWriterVersion(ws io.WriteSeeker, name string, version int) (*CSRWriter, error) {
+	if version != CSRVersion1 && version != CSRVersion2 {
+		return nil, fmt.Errorf("csrg %s: unknown writer version %d (have %d and %d)", name, version, CSRVersion1, CSRVersion2)
+	}
+	w := &CSRWriter{ws: ws, bw: bufio.NewWriterSize(ws, 1<<20), name: name, version: version}
+	n, err := writeCSRHeader(w.bw, name, uint16(version), 0, 0, 0)
+	if err != nil {
 		return nil, err
 	}
+	w.hdrLen = n
+	if version == CSRVersion2 {
+		// Placeholder block count, patched on Close. Written outside the
+		// CRC — the v2 checksum starts after this field (see format doc).
+		var quad [4]byte
+		if _, err := w.bw.Write(quad[:]); err != nil {
+			return nil, err
+		}
+		w.block = make([]Edge, 0, csrV2BlockEdges)
+	}
 	return w, nil
+}
+
+func (w *CSRWriter) sink(chunk []byte) error {
+	w.crc = crc32.Update(w.crc, castagnoli, chunk)
+	_, err := w.bw.Write(chunk)
+	return err
 }
 
 // Append writes one batch of edges. The slice is not retained.
@@ -540,18 +777,52 @@ func (w *CSRWriter) Append(edges []Edge) error {
 			w.maxID = e.Dst
 		}
 	}
-	w.err = encodeEdges(edges, func(chunk []byte) error {
-		w.crc = crc32.Update(w.crc, castagnoli, chunk)
-		_, err := w.bw.Write(chunk)
-		return err
-	})
+	if w.version == CSRVersion2 {
+		for len(edges) > 0 {
+			take := csrV2BlockEdges - len(w.block)
+			if take > len(edges) {
+				take = len(edges)
+			}
+			w.block = append(w.block, edges[:take]...)
+			edges = edges[take:]
+			w.edges += int64(take)
+			if len(w.block) == csrV2BlockEdges {
+				if w.err = w.flushBlock(); w.err != nil {
+					return w.err
+				}
+			}
+		}
+		return nil
+	}
+	w.err = encodeEdges(edges, w.sink)
 	w.edges += int64(len(edges))
 	return w.err
 }
 
-// Close writes the checksum footer, patches the edge and vertex counts into
-// the header, and leaves the file positioned at its end. The receiver is
-// unusable afterwards; closing the underlying file remains the caller's job.
+// flushBlock compresses and writes the pending v2 block.
+func (w *CSRWriter) flushBlock() error {
+	if len(w.block) == 0 {
+		return nil
+	}
+	w.enc = appendV2Block(w.enc[:0], w.block)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(w.block)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(w.enc)))
+	if err := w.sink(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.sink(w.enc); err != nil {
+		return err
+	}
+	w.numBlocks++
+	w.block = w.block[:0]
+	return nil
+}
+
+// Close writes the checksum footer, patches the edge/vertex counts (and the
+// v2 block count) into the header, and leaves the file positioned at its
+// end. The receiver is unusable afterwards; closing the underlying file
+// remains the caller's job.
 func (w *CSRWriter) Close() error {
 	if w.err != nil {
 		return w.err
@@ -560,6 +831,11 @@ func (w *CSRWriter) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.version == CSRVersion2 {
+		if err := w.flushBlock(); err != nil {
+			return err
+		}
+	}
 	var foot [4]byte
 	binary.LittleEndian.PutUint32(foot[:], w.crc)
 	if _, err := w.bw.Write(foot[:]); err != nil {
@@ -585,39 +861,77 @@ func (w *CSRWriter) Close() error {
 	if _, err := w.ws.Write(counts[:]); err != nil {
 		return err
 	}
+	if w.version == CSRVersion2 {
+		// The block count sits at the start of the payload, outside the
+		// CRC, so patching it cannot invalidate the streamed checksum.
+		var quad [4]byte
+		binary.LittleEndian.PutUint32(quad[:], w.numBlocks)
+		if _, err := w.ws.Seek(int64(w.hdrLen), io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := w.ws.Write(quad[:]); err != nil {
+			return err
+		}
+	}
 	_, err = w.ws.Seek(end, io.SeekStart)
 	return err
 }
 
 // --- format sniffing --------------------------------------------------
 
-// sniffCSR reports whether the file at path starts with the .csrg magic.
-func sniffCSR(path string) (bool, error) {
+// sniffCSR reads the magic and format version of the file at path. isCSR is
+// true for any file that starts with the .csrg magic — including versions
+// this reader does not support, so dispatchers route such files to the
+// binary path where the unsupported version is named instead of feeding
+// binary bytes to the text parser.
+func sniffCSR(path string) (isCSR bool, version uint16, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	defer f.Close()
-	var magic [4]byte
-	n, err := io.ReadFull(f, magic[:])
+	var hdr [6]byte
+	n, err := io.ReadFull(f, hdr[:])
 	if err == io.ErrUnexpectedEOF || err == io.EOF {
-		return false, nil // shorter than the magic: not binary
+		return false, 0, nil // shorter than magic+version: not binary
 	}
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
-	return n == 4 && string(magic[:]) == CSRMagic, nil
+	if n != 6 || string(hdr[:4]) != CSRMagic {
+		return false, 0, nil
+	}
+	return true, binary.LittleEndian.Uint16(hdr[4:6]), nil
+}
+
+// CSRFileVersion reports the .csrg format version of the file at path.
+// ok is false when the file does not start with the binary magic (a text
+// edge list, say). A true ok with an out-of-range version means the file is
+// binary but from a future format revision — loaders reject it by name.
+func CSRFileVersion(path string) (version int, ok bool, err error) {
+	bin, v, err := sniffCSR(path)
+	return int(v), bin, err
+}
+
+// errUnsupportedVersion names an unsupported binary version the same way
+// decodeCSRHeader does, for dispatchers that reject before decoding.
+func errUnsupportedVersion(path string, version uint16) error {
+	return fmt.Errorf("csrg %s: unsupported format version %d (reader supports %d–%d)", path, version, CSRVersion1, CSRVersion2)
 }
 
 // LoadFile loads a graph from path in whichever format the file holds,
-// sniffing the .csrg magic: binary files go through LoadCSR, everything else
+// sniffing the .csrg magic and version: v1/v2 binary files go through
+// LoadCSR, unknown binary versions fail by name, everything else goes
 // through the text edge-list parser.
 func LoadFile(path string) (*Graph, error) {
-	bin, err := sniffCSR(path)
+	bin, ver, err := sniffCSR(path)
 	if err != nil {
 		return nil, err
 	}
 	if bin {
+		if ver < CSRVersion1 || ver > CSRVersion2 {
+			return nil, errUnsupportedVersion(path, ver)
+		}
 		return LoadCSR(path)
 	}
 	return LoadEdgeList(path)
@@ -628,9 +942,12 @@ func LoadFile(path string) (*Graph, error) {
 // with the same contract as both: fn sees every edge in stream order, memory
 // stays O(batchSize), and the totals are returned.
 func StreamFile(path string, batchSize int, fn func(offset int64, edges []Edge) error) (int64, VertexID, error) {
-	bin, err := sniffCSR(path)
+	bin, ver, err := sniffCSR(path)
 	if err != nil {
 		return 0, 0, err
+	}
+	if bin && (ver < CSRVersion1 || ver > CSRVersion2) {
+		return 0, 0, errUnsupportedVersion(path, ver)
 	}
 	f, err := os.Open(path)
 	if err != nil {

@@ -59,7 +59,10 @@ func benchFiles(b *testing.B) (textPath, csrPath string) {
 		if benchErr = SaveEdgeList(g, filepath.Join(benchDir, "g.txt")); benchErr != nil {
 			return
 		}
-		benchErr = SaveCSR(g, filepath.Join(benchDir, "g.csrg"))
+		if benchErr = SaveCSR(g, filepath.Join(benchDir, "g.csrg")); benchErr != nil {
+			return
+		}
+		benchErr = SaveCSRVersion(g, filepath.Join(benchDir, "g.v2.csrg"), CSRVersion2)
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -108,6 +111,84 @@ func BenchmarkLoadEdgeListText(b *testing.B) {
 		}
 	}
 	reportLoadMetrics(b, textPath)
+}
+
+// BenchmarkLoadCSRMmap pins the zero-copy path: the mapping is validated
+// (CRC) and the sections are aliased in place, so the op cost is dominated
+// by the checksum scan and the bounds-check pass.
+func BenchmarkLoadCSRMmap(b *testing.B) {
+	if !MmapSupported() {
+		b.Skip("mmap path unavailable on this platform")
+	}
+	_, csrPath := benchFiles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := LoadCSR(csrPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumEdges() != benchEdges {
+			b.Fatalf("loaded %d edges", g.NumEdges())
+		}
+	}
+	reportLoadMetrics(b, csrPath)
+}
+
+// BenchmarkLoadCSRRead is the same file through the portable
+// read-everything path, the denominator of the mmap speedup claim.
+func BenchmarkLoadCSRRead(b *testing.B) {
+	_, csrPath := benchFiles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := LoadCSRWith(csrPath, CSRLoadOptions{DisableMmap: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumEdges() != benchEdges {
+			b.Fatalf("loaded %d edges", g.NumEdges())
+		}
+	}
+	reportLoadMetrics(b, csrPath)
+}
+
+// BenchmarkLoadCSRv2 loads the compressed form (parallel block decode).
+func BenchmarkLoadCSRv2(b *testing.B) {
+	benchFiles(b)
+	v2Path := filepath.Join(benchDir, "g.v2.csrg")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := LoadCSR(v2Path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumEdges() != benchEdges {
+			b.Fatalf("loaded %d edges", g.NumEdges())
+		}
+	}
+	reportLoadMetrics(b, v2Path)
+}
+
+// BenchmarkStreamCSRv2Parallel streams the compressed form with the block
+// decode fanned out over GOMAXPROCS workers.
+func BenchmarkStreamCSRv2Parallel(b *testing.B) {
+	benchFiles(b)
+	v2Path := filepath.Join(benchDir, "g.v2.csrg")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(v2Path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total int64
+		if total, _, err = StreamCSRParallel(v2Path, f, 0, 0, func(int64, []Edge) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+		if total != benchEdges {
+			b.Fatalf("streamed %d edges", total)
+		}
+	}
+	reportLoadMetrics(b, v2Path)
 }
 
 // TestCSRLoadSpeedupAt1MEdges measures the acceptance bar directly — binary

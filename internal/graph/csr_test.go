@@ -122,9 +122,17 @@ func TestCSRCorruptionDetection(t *testing.T) {
 			return b
 		}, "unknown flags"},
 		{"flipped payload bit", func(b []byte) []byte {
-			b[csrHeaderFixed+len("csr-test")+3] ^= 0x40
+			b[len(b)-5] ^= 0x40 // last payload byte, just before the footer
 			return b
 		}, "checksum mismatch"},
+		{"version zero", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4:6], 0)
+			return b
+		}, "unsupported format version"},
+		{"version from the future", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4:6], CSRVersion2+1)
+			return b
+		}, "unsupported format version"},
 		{"vertex count lies low", func(b []byte) []byte {
 			binary.LittleEndian.PutUint64(b[8:16], 2) // real max id is 7
 			return b

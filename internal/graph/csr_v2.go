@@ -1,0 +1,417 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// .csrg format version 2: compressed edge blocks.
+//
+// The v1 edge section spends 8 bytes per edge no matter what the ids look
+// like. Real graph streams are far more regular than that — generators and
+// crawls emit edges grouped by source, and web-graph destinations cluster
+// near their source (locality) — so consecutive ids are close and their
+// differences are small. v2 exploits this: each edge stores
+//
+//	uvarint(zigzag(src − prevSrc)), uvarint(zigzag(dst − src))
+//
+// where prevSrc is the previous edge's src *within the block* (0 for the
+// block's first edge). Small deltas take 1–2 bytes, so typical sections
+// shrink to 2–4 bytes per edge. Zigzag keeps backwards jumps cheap too.
+//
+// Edges are grouped into blocks of csrV2BlockEdges, each preceded by
+//
+//	uint32 edgeCount, uint32 byteLen
+//
+// and the whole section by a uint32 block count. Deltas reset at block
+// boundaries, so every block decodes with no context beyond its header —
+// which is what lets LoadCSR and StreamCSRParallel fan the decode out over
+// GOMAXPROCS workers while preserving stream order.
+
+// csrV2BlockEdges is the number of edges per compressed block. 64Ki edges
+// ≈ 128–512 KiB decoded — big enough to amortize per-block overhead, small
+// enough that a round of GOMAXPROCS blocks fits comfortably in memory.
+const csrV2BlockEdges = 1 << 16
+
+// csrV2MaxBytesPerEdge bounds a block's declared byte length relative to
+// its edge count: a uvarint of a zigzagged 33-bit delta is at most 5 bytes,
+// two fields per edge. Anything larger is corruption, rejected before any
+// allocation trusts it.
+const csrV2MaxBytesPerEdge = 10
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendV2Block appends one block's compressed payload to dst and returns
+// the extended slice.
+func appendV2Block(dst []byte, edges []Edge) []byte {
+	prevSrc := uint32(0)
+	for _, e := range edges {
+		dst = binary.AppendUvarint(dst, zigzag(int64(e.Src)-int64(prevSrc)))
+		dst = binary.AppendUvarint(dst, zigzag(int64(e.Dst)-int64(e.Src)))
+		prevSrc = e.Src
+	}
+	return dst
+}
+
+// decodeV2Block decodes one block payload into out (whose length is the
+// block's declared edge count), bounds-checking every id and folding the
+// maximum id into maxID. base is the global index of the block's first edge
+// and blockIdx its position in the file; both name the offset in errors.
+func decodeV2Block(src string, payload []byte, numVertices uint64, base int64, blockIdx int, out []Edge, maxID *VertexID) error {
+	pos := 0
+	prevSrc := int64(0)
+	for i := range out {
+		ds, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return fmt.Errorf("csrg %s: block %d: bad src varint at block byte %d (edge %d)", src, blockIdx, pos, base+int64(i))
+		}
+		pos += n
+		s := prevSrc + unzigzag(ds)
+		dd, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return fmt.Errorf("csrg %s: block %d: bad dst varint at block byte %d (edge %d)", src, blockIdx, pos, base+int64(i))
+		}
+		pos += n
+		d := s + unzigzag(dd)
+		if s < 0 || uint64(s) >= numVertices || d < 0 || uint64(d) >= numVertices {
+			return fmt.Errorf("csrg %s: block %d: edge %d (%d→%d) outside declared vertex range [0,%d)", src, blockIdx, base+int64(i), s, d, numVertices)
+		}
+		out[i] = Edge{VertexID(s), VertexID(d)}
+		if out[i].Src > *maxID {
+			*maxID = out[i].Src
+		}
+		if out[i].Dst > *maxID {
+			*maxID = out[i].Dst
+		}
+		prevSrc = s
+	}
+	if pos != len(payload) {
+		return fmt.Errorf("csrg %s: block %d: %d trailing bytes after %d edges", src, blockIdx, len(payload)-pos, len(out))
+	}
+	return nil
+}
+
+// WriteCSR2 writes g in .csrg version-2 form: delta+varint-compressed edge
+// blocks, no adjacency sections (readers rebuild them lazily). The edge
+// section preserves g.Edges order exactly.
+func WriteCSR2(g *Graph, w io.Writer) error {
+	m := g.NumEdges()
+	if m > csrMaxEdges {
+		return fmt.Errorf("csrg %s: %d edges exceed the int32 edge-id space", g.Name, m)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := writeCSRHeader(bw, g.Name, CSRVersion2, 0, uint64(g.NumVertices()), uint64(m)); err != nil {
+		return err
+	}
+	numBlocks := (m + csrV2BlockEdges - 1) / csrV2BlockEdges
+	var quad [4]byte
+	binary.LittleEndian.PutUint32(quad[:], uint32(numBlocks))
+	if _, err := bw.Write(quad[:]); err != nil {
+		return err
+	}
+	crc := uint32(0)
+	sink := func(chunk []byte) error {
+		crc = crc32.Update(crc, castagnoli, chunk)
+		_, err := bw.Write(chunk)
+		return err
+	}
+	var enc []byte
+	for lo := 0; lo < m; lo += csrV2BlockEdges {
+		hi := lo + csrV2BlockEdges
+		if hi > m {
+			hi = m
+		}
+		enc = appendV2Block(enc[:0], g.Edges[lo:hi])
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(hi-lo))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(enc)))
+		if err := sink(hdr[:]); err != nil {
+			return err
+		}
+		if err := sink(enc); err != nil {
+			return err
+		}
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc)
+	if _, err := bw.Write(foot[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// decodeCSRv2 decodes a whole in-memory v2 file: verify the checksum, index
+// the blocks (every structural field is validated before any decode trusts
+// it), then decode independent blocks on parallel workers straight into
+// their slots of the shared edge slice.
+func decodeCSRv2(src string, data []byte, off int, h csrHeader, o CSRLoadOptions) (*Graph, error) {
+	if int64(len(data)) < int64(off)+8 {
+		return nil, fmt.Errorf("csrg %s: truncated v2 payload (%d bytes)", src, len(data))
+	}
+	payload := data[off : len(data)-4]
+	stored := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(payload[4:], castagnoli); got != stored {
+		return nil, fmt.Errorf("csrg %s: payload checksum mismatch (%#08x != stored %#08x): file is corrupt", src, got, stored)
+	}
+	m := int(h.numEdges)
+	n := int(h.numVertices)
+	numBlocks := int(binary.LittleEndian.Uint32(payload[0:4]))
+	if int64(numBlocks)*8 > int64(len(payload)-4) {
+		return nil, fmt.Errorf("csrg %s: %d blocks cannot fit in %d payload bytes", src, numBlocks, len(payload)-4)
+	}
+
+	type blockRef struct {
+		count int
+		base  int64
+		data  []byte
+	}
+	blocks := make([]blockRef, 0, numBlocks)
+	pos := 4
+	var base int64
+	for bidx := 0; bidx < numBlocks; bidx++ {
+		if len(payload)-pos < 8 {
+			return nil, fmt.Errorf("csrg %s: truncated header of block %d at payload byte %d", src, bidx, pos)
+		}
+		cnt := int(binary.LittleEndian.Uint32(payload[pos:]))
+		bl := int(binary.LittleEndian.Uint32(payload[pos+4:]))
+		pos += 8
+		if int64(cnt) > int64(m)-base {
+			return nil, fmt.Errorf("csrg %s: block %d declares %d edges but only %d of the header's %d remain", src, bidx, cnt, int64(m)-base, m)
+		}
+		if bl > len(payload)-pos {
+			return nil, fmt.Errorf("csrg %s: block %d declares %d payload bytes but only %d remain", src, bidx, bl, len(payload)-pos)
+		}
+		blocks = append(blocks, blockRef{count: cnt, base: base, data: payload[pos : pos+bl]})
+		pos += bl
+		base += int64(cnt)
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("csrg %s: %d trailing payload bytes after %d blocks", src, len(payload)-pos, numBlocks)
+	}
+	if base != int64(m) {
+		return nil, fmt.Errorf("csrg %s: blocks hold %d edges, header says %d", src, base, m)
+	}
+	if m == 0 && n != 0 {
+		return nil, fmt.Errorf("csrg %s: %d vertices with no edges (writers derive the vertex set from edges)", src, n)
+	}
+
+	edges := make([]Edge, m)
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	var maxID VertexID
+	if workers <= 1 {
+		for bidx, b := range blocks {
+			if err := decodeV2Block(src, b.data, h.numVertices, b.base, bidx, edges[b.base:b.base+int64(b.count)], &maxID); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var next atomic.Int64
+		maxIDs := make([]VertexID, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					bidx := int(next.Add(1)) - 1
+					if bidx >= len(blocks) {
+						return
+					}
+					b := blocks[bidx]
+					if err := decodeV2Block(src, b.data, h.numVertices, b.base, bidx, edges[b.base:b.base+int64(b.count)], &maxIDs[w]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := range errs {
+			if errs[w] != nil {
+				return nil, errs[w]
+			}
+			if maxIDs[w] > maxID {
+				maxID = maxIDs[w]
+			}
+		}
+	}
+	if m > 0 && int64(maxID)+1 != int64(n) {
+		return nil, fmt.Errorf("csrg %s: header says %d vertices but max edge id is %d", src, n, maxID)
+	}
+	g := &Graph{Name: h.name, Edges: edges, numVertices: n}
+	g.buildDegrees()
+	return g, nil
+}
+
+// streamCSRv2 is the v2 tail of StreamCSR/StreamCSRParallel: br is
+// positioned just past the header. Blocks are read sequentially (the CRC
+// must see every byte in file order) and decoded either inline or on a
+// round of workers; fn sees batches in stream order from this goroutine.
+func streamCSRv2(name string, br *bufio.Reader, h csrHeader, batchSize, workers int, fn func(offset int64, edges []Edge) error) (int64, VertexID, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var quad [4]byte
+	if _, err := io.ReadFull(br, quad[:]); err != nil {
+		return 0, 0, fmt.Errorf("csrg %s: reading block count: %w", name, err)
+	}
+	numBlocks := int(binary.LittleEndian.Uint32(quad[:]))
+	m := int64(h.numEdges)
+	crc := uint32(0)
+	var total int64 // edges delivered to fn
+	var read int64  // edges read off the wire (≥ total under read-ahead)
+	var maxID VertexID
+
+	// emit chops a decoded block into ≤batchSize batches for fn.
+	emit := func(edges []Edge) error {
+		for len(edges) > 0 {
+			n := len(edges)
+			if n > batchSize {
+				n = batchSize
+			}
+			if err := fn(total, edges[:n]); err != nil {
+				return err
+			}
+			total += int64(n)
+			edges = edges[n:]
+		}
+		return nil
+	}
+
+	// readBlock pulls the next block header + payload off the wire into a
+	// pooled buffer, updating the CRC, and validates the structural fields.
+	readBlock := func(bidx int) (cnt int, payload *[]byte, err error) {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return 0, nil, fmt.Errorf("csrg %s: truncated header of block %d (edge %d of %d): %w", name, bidx, read, m, err)
+		}
+		crc = crc32.Update(crc, castagnoli, hdr[:])
+		cnt = int(binary.LittleEndian.Uint32(hdr[0:4]))
+		bl := int(binary.LittleEndian.Uint32(hdr[4:8]))
+		if int64(cnt) > m-read {
+			return 0, nil, fmt.Errorf("csrg %s: block %d declares %d edges but only %d of the header's %d remain", name, bidx, cnt, m-read, m)
+		}
+		if bl > (cnt+1)*csrV2MaxBytesPerEdge {
+			return 0, nil, fmt.Errorf("csrg %s: block %d declares %d bytes for %d edges (max %d/edge)", name, bidx, bl, cnt, csrV2MaxBytesPerEdge)
+		}
+		payload = getByteBuf(bl)
+		buf := (*payload)[:bl]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			putByteBuf(payload)
+			return 0, nil, fmt.Errorf("csrg %s: truncated payload of block %d (edge %d of %d): %w", name, bidx, read, m, err)
+		}
+		crc = crc32.Update(crc, castagnoli, buf)
+		*payload = buf
+		read += int64(cnt)
+		return cnt, payload, nil
+	}
+
+	if workers <= 1 {
+		blockp := getEdgeBuf(csrV2BlockEdges)
+		defer putEdgeBuf(blockp)
+		for bidx := 0; bidx < numBlocks; bidx++ {
+			cnt, payload, err := readBlock(bidx)
+			if err != nil {
+				return total, maxID, err
+			}
+			if cap(*blockp) < cnt {
+				*blockp = make([]Edge, 0, cnt)
+			}
+			out := (*blockp)[:cnt]
+			err = decodeV2Block(name, *payload, h.numVertices, total, bidx, out, &maxID)
+			putByteBuf(payload)
+			if err != nil {
+				return total, maxID, err
+			}
+			if err := emit(out); err != nil {
+				return total, maxID, err
+			}
+		}
+	} else {
+		// Read ahead a round of blocks, decode the round in parallel, then
+		// deliver in order. Memory stays O(workers · block).
+		type job struct {
+			bidx    int
+			base    int64
+			payload *[]byte
+			out     *[]Edge
+			err     error
+		}
+		jobs := make([]job, 0, workers)
+		maxIDs := make([]VertexID, workers)
+		for bidx := 0; bidx < numBlocks; {
+			jobs = jobs[:0]
+			for len(jobs) < workers && bidx < numBlocks {
+				base := read
+				cnt, payload, err := readBlock(bidx)
+				if err != nil {
+					for _, j := range jobs {
+						putByteBuf(j.payload)
+						putEdgeBuf(j.out)
+					}
+					return total, maxID, err
+				}
+				out := getEdgeBuf(cnt)
+				*out = (*out)[:cnt]
+				jobs = append(jobs, job{bidx: bidx, base: base, payload: payload, out: out})
+				bidx++
+			}
+			var wg sync.WaitGroup
+			for i := range jobs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					j := &jobs[i]
+					j.err = decodeV2Block(name, *j.payload, h.numVertices, j.base, j.bidx, *j.out, &maxIDs[i])
+				}(i)
+			}
+			wg.Wait()
+			for i := range jobs {
+				j := &jobs[i]
+				putByteBuf(j.payload)
+				if j.err == nil {
+					if maxIDs[i] > maxID {
+						maxID = maxIDs[i]
+					}
+					j.err = emit(*j.out)
+				}
+				putEdgeBuf(j.out)
+				if j.err != nil {
+					for _, rest := range jobs[i+1:] {
+						putByteBuf(rest.payload)
+						putEdgeBuf(rest.out)
+					}
+					return total, maxID, j.err
+				}
+			}
+		}
+	}
+	if read != m {
+		return total, maxID, fmt.Errorf("csrg %s: blocks hold %d edges, header says %d", name, read, m)
+	}
+	var foot [4]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		return total, maxID, fmt.Errorf("csrg %s: missing checksum footer: %w", name, err)
+	}
+	if stored := binary.LittleEndian.Uint32(foot[:]); stored != crc {
+		return total, maxID, fmt.Errorf("csrg %s: payload checksum mismatch (%#08x != stored %#08x): file is corrupt", name, crc, stored)
+	}
+	if total > 0 && int64(maxID)+1 != int64(h.numVertices) {
+		return total, maxID, fmt.Errorf("csrg %s: header says %d vertices but max edge id is %d", name, h.numVertices, maxID)
+	}
+	return total, maxID, nil
+}

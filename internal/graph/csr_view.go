@@ -1,0 +1,49 @@
+package graph
+
+import "unsafe"
+
+// Zero-copy section views for the mmap load path. A .csrg v1 payload is
+// little-endian fixed-width records, and writers 8-align the payload start
+// (csr.go), so on a little-endian host the mapped bytes already *are* the
+// in-memory representation — these helpers just reinterpret them. Each view
+// returns nil when the platform byte order or the actual alignment rules it
+// out, and the caller falls back to the copying decoder, so a view is an
+// optimization and never a behavior change.
+
+// Edge must be exactly two packed uint32s for edgesView to be sound; this
+// fails to compile if Edge ever grows padding or fields.
+var _ [8]byte = [unsafe.Sizeof(Edge{})]byte{}
+
+// hostLittleEndian reports whether the running machine stores the low byte
+// first, i.e. whether .csrg's on-disk layout matches memory.
+var hostLittleEndian = func() bool {
+	var x uint16 = 0x0102
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// edgesView reinterprets b (interleaved src,dst uint32 pairs) as []Edge.
+func edgesView(b []byte) []Edge {
+	if !hostLittleEndian || len(b) < 8 ||
+		uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(Edge{}) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*Edge)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// u32View reinterprets b as []uint32.
+func u32View(b []byte) []uint32 {
+	if !hostLittleEndian || len(b) < 4 ||
+		uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(uint32(0)) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// i32View reinterprets b as []int32.
+func i32View(b []byte) []int32 {
+	if !hostLittleEndian || len(b) < 4 ||
+		uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(int32(0)) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

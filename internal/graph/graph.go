@@ -38,6 +38,11 @@ type Graph struct {
 
 	outDeg []int32
 	inDeg  []int32
+
+	// mmap pins the memory mapping some of the slices above alias when the
+	// graph was loaded through the zero-copy path (csr.go); the mapping is
+	// released by finalizer once the graph is unreachable.
+	mmap *mmapRef
 }
 
 // FromEdges builds a Graph from an edge list. The vertex set is the dense

@@ -27,7 +27,9 @@ func StreamEdgeList(name string, r io.Reader, batchSize int, fn func(offset int6
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
-	batch := make([]Edge, 0, batchSize)
+	batchp := getEdgeBuf(batchSize)
+	defer putEdgeBuf(batchp)
+	batch := (*batchp)[:0]
 	var total int64
 	var maxID VertexID
 	flush := func() error {

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapAvailable = false
+
+func mmapFile(f *os.File, size int64) (*mmapRef, error) {
+	return nil, errors.New("graph: memory mapping is not available on this platform")
+}
+
+func munmapBytes(b []byte) {}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+const mmapAvailable = true
+
+// mmapFile maps size bytes of f read-only. The returned ref carries a
+// finalizer, so an abandoned mapping is eventually released even if no one
+// calls unmap explicitly.
+func mmapFile(f *os.File, size int64) (*mmapRef, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, err
+	}
+	ref := &mmapRef{data: data}
+	runtime.SetFinalizer(ref, (*mmapRef).unmap)
+	return ref, nil
+}
+
+func munmapBytes(b []byte) { _ = syscall.Munmap(b) }

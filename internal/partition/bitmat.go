@@ -67,6 +67,24 @@ func (m *bitMatrix) forEach(row int, fn func(col int)) {
 	}
 }
 
+// or folds every set bit of other into m, growing m to other's row count.
+// Both matrices must have the same column count. Because set-union is
+// commutative and associative, or-merging per-worker matrices yields the
+// same matrix a single sequential pass would have built.
+func (m *bitMatrix) or(other *bitMatrix) {
+	if m.words != other.words {
+		panic("bitMatrix: or across different column counts")
+	}
+	if len(other.bits) > len(m.bits) {
+		m.ensureRows(len(other.bits) / other.words)
+	}
+	for i, w := range other.bits {
+		if w != 0 {
+			m.bits[i] |= w
+		}
+	}
+}
+
 // row returns the words of a row (shared; do not modify).
 func (m *bitMatrix) row(row int) []uint64 {
 	return m.bits[row*m.words : (row+1)*m.words]

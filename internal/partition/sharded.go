@@ -1,0 +1,123 @@
+package partition
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"graphpart/internal/graph"
+)
+
+// ShardedStreamBuilder fans stateless stream ingress out over worker
+// goroutines. Each worker owns a private StreamBuilder (its own assigner,
+// counters and bit-matrices — no shared mutable state, no locks on the hot
+// path); Feed copies each batch into a pooled buffer and dispatches it to
+// whichever worker is free. Because the strategy is stateless and every
+// per-edge update commutes (counter addition, bit-set union), the merged
+// result is *identical* to a single sequential StreamBuilder over the same
+// stream, regardless of how batches interleave across workers.
+//
+// Feed is intended for a single producer (the file reader); the concurrency
+// lives behind it. Memory is O(workers · |V|·P/8) bits plus the in-flight
+// batch copies.
+type ShardedStreamBuilder struct {
+	builders []*StreamBuilder
+	jobs     chan shardJob
+	wg       sync.WaitGroup
+	errs     []error
+	failed   atomic.Bool
+	pool     sync.Pool
+	done     bool
+}
+
+type shardJob struct {
+	offset int64
+	buf    *[]graph.Edge
+}
+
+// NewShardedStreamBuilder prepares a sharded stream ingress with the given
+// worker count (≤0 means GOMAXPROCS).
+func NewShardedStreamBuilder(s StatelessStrategy, numParts, workers int, seed uint64) (*ShardedStreamBuilder, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sb := &ShardedStreamBuilder{
+		builders: make([]*StreamBuilder, workers),
+		jobs:     make(chan shardJob, 2*workers),
+		errs:     make([]error, workers),
+	}
+	sb.pool.New = func() any {
+		s := make([]graph.Edge, 0, graph.DefaultBatchSize)
+		return &s
+	}
+	for i := range sb.builders {
+		b, err := NewStreamBuilder(s, numParts, seed)
+		if err != nil {
+			return nil, err
+		}
+		sb.builders[i] = b
+	}
+	for i := range sb.builders {
+		sb.wg.Add(1)
+		go func(i int) {
+			defer sb.wg.Done()
+			for job := range sb.jobs {
+				if sb.errs[i] == nil {
+					if err := sb.builders[i].Feed(EdgeBatch{Offset: job.offset, Edges: *job.buf}); err != nil {
+						sb.errs[i] = err
+						sb.failed.Store(true)
+					}
+				}
+				*job.buf = (*job.buf)[:0]
+				sb.pool.Put(job.buf)
+			}
+		}(i)
+	}
+	return sb, nil
+}
+
+// Feed copies one batch into a pooled buffer and hands it to a worker. The
+// caller's slice is not retained; in steady state the copy reuses pooled
+// memory, so the batch→Feed→release cycle allocates nothing.
+func (sb *ShardedStreamBuilder) Feed(batch EdgeBatch) error {
+	if sb.done {
+		return fmt.Errorf("partition: sharded Feed after Finish")
+	}
+	if sb.failed.Load() {
+		return sb.firstErr()
+	}
+	bufp := sb.pool.Get().(*[]graph.Edge)
+	*bufp = append((*bufp)[:0], batch.Edges...)
+	sb.jobs <- shardJob{offset: batch.Offset, buf: bufp}
+	return nil
+}
+
+func (sb *ShardedStreamBuilder) firstErr() error {
+	for _, err := range sb.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish drains the workers, merges their private state and derives the
+// summary — identical to what a sequential StreamBuilder would return for
+// the same stream. An assignment error from any worker surfaces here (and
+// on the Feed that follows it).
+func (sb *ShardedStreamBuilder) Finish() (*StreamSummary, error) {
+	if !sb.done {
+		sb.done = true
+		close(sb.jobs)
+		sb.wg.Wait()
+	}
+	if err := sb.firstErr(); err != nil {
+		return nil, err
+	}
+	root := sb.builders[0]
+	for _, o := range sb.builders[1:] {
+		root.merge(o)
+	}
+	return root.Finish(), nil
+}

@@ -1,0 +1,240 @@
+package partition
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"graphpart/internal/gen"
+	"graphpart/internal/graph"
+)
+
+// feedSharded pushes a graph through a ShardedStreamBuilder in batches,
+// reusing one buffer exactly as graph.StreamFile does.
+func feedSharded(t *testing.T, sb *ShardedStreamBuilder, g *graph.Graph, batchSize int) {
+	t.Helper()
+	buf := make([]graph.Edge, 0, batchSize)
+	offset := int64(0)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		if err := sb.Feed(EdgeBatch{Offset: offset, Edges: buf}); err != nil {
+			t.Fatal(err)
+		}
+		offset += int64(len(buf))
+		buf = buf[:0]
+	}
+	for _, e := range g.Edges {
+		buf = append(buf, e)
+		if len(buf) == batchSize {
+			flush()
+		}
+	}
+	flush()
+}
+
+// TestShardedMatchesSequential is the correctness bar for sharded ingress:
+// for every stateless strategy and several worker counts, the merged
+// summary must be fully identical to the sequential StreamBuilder's —
+// masters, per-partition counts, replicas, RF and balance — no matter how
+// batches interleave across workers.
+func TestShardedMatchesSequential(t *testing.T) {
+	g := gen.PrefAttach("sharded", 4000, 5, 0x5d)
+	for _, name := range AllNames() {
+		s := MustNew(name, Options{HybridThreshold: 30})
+		ss, ok := s.(StatelessStrategy)
+		if !ok {
+			continue
+		}
+		parts := partsFor(name)
+		seq, err := NewStreamBuilder(ss, parts, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		feedInBatches(t, seq, g, 512)
+		want := seq.Finish()
+
+		for _, workers := range []int{1, 3, 8} {
+			sb, err := NewShardedStreamBuilder(ss, parts, workers, 9)
+			if err != nil {
+				t.Fatalf("%s/w=%d: %v", name, workers, err)
+			}
+			feedSharded(t, sb, g, 512)
+			got, err := sb.Finish()
+			if err != nil {
+				t.Fatalf("%s/w=%d: %v", name, workers, err)
+			}
+			if got.NumEdges != want.NumEdges || got.NumVertices != want.NumVertices {
+				t.Fatalf("%s/w=%d: sizes |V|=%d |E|=%d, want %d/%d",
+					name, workers, got.NumVertices, got.NumEdges, want.NumVertices, want.NumEdges)
+			}
+			for p := range want.EdgeCount {
+				if want.EdgeCount[p] != got.EdgeCount[p] {
+					t.Fatalf("%s/w=%d: partition %d holds %d edges, want %d",
+						name, workers, p, got.EdgeCount[p], want.EdgeCount[p])
+				}
+			}
+			for v := range want.Masters {
+				if want.Masters[v] != got.Masters[v] {
+					t.Fatalf("%s/w=%d: master of %d is %d, want %d",
+						name, workers, v, got.Masters[v], want.Masters[v])
+				}
+			}
+			for p := 0; p < parts; p++ {
+				if want.ReplicasOnPart(p) != got.ReplicasOnPart(p) {
+					t.Fatalf("%s/w=%d: partition %d holds %d replicas, want %d",
+						name, workers, p, got.ReplicasOnPart(p), want.ReplicasOnPart(p))
+				}
+			}
+			if want.ReplicationFactor() != got.ReplicationFactor() || want.EdgeBalance() != got.EdgeBalance() {
+				t.Fatalf("%s/w=%d: metrics rf=%v bal=%v, want rf=%v bal=%v",
+					name, workers, got.ReplicationFactor(), got.EdgeBalance(),
+					want.ReplicationFactor(), want.EdgeBalance())
+			}
+		}
+	}
+}
+
+// badAssigner places every edge out of range, to exercise the sharded error
+// path end to end.
+type badAssigner struct{}
+
+func (badAssigner) Assign(graph.Edge) int32 { return 1 << 20 }
+
+type badShardStrategy struct{ Random }
+
+func (badShardStrategy) NewAssigner(int, uint64) (Assigner, error) { return badAssigner{}, nil }
+
+func TestShardedPropagatesAssignmentErrors(t *testing.T) {
+	sb, err := NewShardedStreamBuilder(badShardStrategy{}, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The error surfaces asynchronously: keep feeding until Feed reports
+	// it or the stream ends, then Finish must report it regardless.
+	var feedErr error
+	for i := 0; i < 100 && feedErr == nil; i++ {
+		feedErr = sb.Feed(EdgeBatch{Edges: []graph.Edge{{Src: 1, Dst: 2}}})
+	}
+	_, finishErr := sb.Finish()
+	if finishErr == nil {
+		t.Fatal("Finish swallowed the assignment error")
+	}
+	if !strings.Contains(finishErr.Error(), "placed edge") {
+		t.Errorf("error %q does not name the misplaced edge", finishErr)
+	}
+	if err := sb.Feed(EdgeBatch{}); err == nil {
+		t.Error("Feed after Finish accepted")
+	}
+}
+
+// TestStreamBuilderFeedDoesNotAllocate pins the steady-state ingress hot
+// path at zero allocations per batch: once the bit-matrices have grown to
+// the vertex range, the batch→Feed cycle must reuse everything.
+func TestStreamBuilderFeedDoesNotAllocate(t *testing.T) {
+	g := gen.PrefAttach("allocs", 2000, 4, 0x33)
+	for _, name := range []string{"Random", "Grid", "HDRF"} {
+		s := MustNew(name, Options{})
+		ss, ok := s.(StatelessStrategy)
+		if !ok {
+			continue // HDRF is streaming, not stateless — documented skip
+		}
+		b, err := NewStreamBuilder(ss, 9, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := EdgeBatch{Edges: g.Edges}
+		if err := b.Feed(batch); err != nil { // warm: grows rows to |V|
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(20, func() {
+			if err := b.Feed(batch); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s: steady-state Feed allocates %.1f times per batch, want 0", name, avg)
+		}
+	}
+}
+
+// TestShardedFeedSteadyStateAllocs pins the sharded path too: after warmup
+// the copy buffers come from the pool, so the producer side of Feed should
+// allocate at most the occasional pool refill.
+func TestShardedFeedSteadyStateAllocs(t *testing.T) {
+	g := gen.PrefAttach("allocs-sharded", 2000, 4, 0x34)
+	ss := MustNew("Random", Options{}).(StatelessStrategy)
+	sb, err := NewShardedStreamBuilder(ss, 9, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := EdgeBatch{Edges: g.Edges[:1024]}
+	for i := 0; i < 50; i++ { // warm pool and worker matrices
+		if err := sb.Feed(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := sb.Feed(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The pool may refill when the GC clears it mid-run; allow a small
+	// fraction but reject per-batch allocation.
+	if avg > 0.5 {
+		t.Errorf("sharded Feed allocates %.2f times per batch in steady state", avg)
+	}
+	if _, err := sb.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedIngressScales is the acceptance gate for near-linear stateless
+// ingress: on a ≥4-core machine, 4 workers must ingest a stream ≥2× faster
+// than 1 worker. Skipped in -short mode and on small machines (CI boxes
+// with 1–2 cores cannot exhibit the scaling this measures).
+func TestShardedIngressScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement skipped in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("scaling measurement needs ≥4 cores, have %d", runtime.NumCPU())
+	}
+	g := gen.PrefAttach("scaling", 200_000, 8, 0x77)
+	ss := MustNew("2D", Options{}).(StatelessStrategy)
+
+	ingest := func(workers int) time.Duration {
+		start := time.Now()
+		// A few repetitions so the measurement dominates setup noise.
+		for rep := 0; rep < 3; rep++ {
+			sb, err := NewShardedStreamBuilder(ss, 16, workers, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for lo := 0; lo < len(g.Edges); lo += graph.DefaultBatchSize {
+				hi := lo + graph.DefaultBatchSize
+				if hi > len(g.Edges) {
+					hi = len(g.Edges)
+				}
+				if err := sb.Feed(EdgeBatch{Offset: int64(lo), Edges: g.Edges[lo:hi]}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := sb.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	ingest(4) // warm caches and pools before timing
+	t1 := ingest(1)
+	t4 := ingest(4)
+	speedup := float64(t1) / float64(t4)
+	t.Logf("1 worker %v, 4 workers %v, speedup %.2fx", t1, t4, speedup)
+	if speedup < 2 {
+		t.Errorf("sharded ingress speedup 1→4 workers is %.2fx, want ≥2x", speedup)
+	}
+}

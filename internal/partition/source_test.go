@@ -38,24 +38,39 @@ func TestBinaryAndTextSourcesYieldIdenticalAssignments(t *testing.T) {
 	for _, ds := range names {
 		g := datasets.MustLoad(ds, 1)
 		textPath := filepath.Join(dir, ds+".txt")
-		binPath := filepath.Join(dir, ds+".csrg")
+		v1Path := filepath.Join(dir, ds+".v1.csrg")
+		v2Path := filepath.Join(dir, ds+".v2.csrg")
 		if err := graph.SaveEdgeList(g, textPath); err != nil {
 			t.Fatal(err)
 		}
-		if err := graph.SaveCSR(g, binPath); err != nil {
+		if err := graph.SaveCSR(g, v1Path); err != nil {
 			t.Fatal(err)
 		}
-		fromText, err := graph.LoadFile(textPath)
-		if err != nil {
+		if err := graph.SaveCSRVersion(g, v2Path, graph.CSRVersion2); err != nil {
 			t.Fatal(err)
 		}
-		fromBin, err := graph.LoadFile(binPath)
-		if err != nil {
-			t.Fatal(err)
+
+		// Every source format and load path in the repo, against the text
+		// baseline: v1 via mmap (when the platform has it), v1 via the
+		// portable read path, and v2's parallel block decode.
+		sources := map[string]*graph.Graph{}
+		load := func(how string, fn func() (*graph.Graph, error)) {
+			lg, err := fn()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", ds, how, err)
+			}
+			if lg.NumEdges() != g.NumEdges() {
+				t.Fatalf("%s (%s): reloaded %d edges, want %d", ds, how, lg.NumEdges(), g.NumEdges())
+			}
+			sources[how] = lg
 		}
-		if fromText.NumEdges() != g.NumEdges() || fromBin.NumEdges() != g.NumEdges() {
-			t.Fatalf("%s: reloaded edge counts %d/%d, want %d", ds, fromText.NumEdges(), fromBin.NumEdges(), g.NumEdges())
-		}
+		load("text", func() (*graph.Graph, error) { return graph.LoadFile(textPath) })
+		load("v1-mmap", func() (*graph.Graph, error) { return graph.LoadCSR(v1Path) })
+		load("v1-read", func() (*graph.Graph, error) {
+			return graph.LoadCSRWith(v1Path, graph.CSRLoadOptions{DisableMmap: true})
+		})
+		load("v2", func() (*graph.Graph, error) { return graph.LoadCSR(v2Path) })
+		fromText := sources["text"]
 
 		for _, name := range strategies {
 			parts := sourceParts(name)
@@ -64,15 +79,20 @@ func TestBinaryAndTextSourcesYieldIdenticalAssignments(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s (text): %v", ds, name, err)
 			}
-			ab, err := partition.Partition(fromBin, s, parts, 1)
-			if err != nil {
-				t.Fatalf("%s/%s (binary): %v", ds, name, err)
-			}
-			if !int32SlicesEqual(at.EdgeParts, ab.EdgeParts) {
-				t.Errorf("%s/%s: edge placements differ between text and binary sources", ds, name)
-			}
-			if !int32SlicesEqual(at.Masters, ab.Masters) {
-				t.Errorf("%s/%s: masters differ between text and binary sources", ds, name)
+			for how, src := range sources {
+				if how == "text" {
+					continue
+				}
+				ab, err := partition.Partition(src, s, parts, 1)
+				if err != nil {
+					t.Fatalf("%s/%s (%s): %v", ds, name, how, err)
+				}
+				if !int32SlicesEqual(at.EdgeParts, ab.EdgeParts) {
+					t.Errorf("%s/%s: edge placements differ between text and %s sources", ds, name, how)
+				}
+				if !int32SlicesEqual(at.Masters, ab.Masters) {
+					t.Errorf("%s/%s: masters differ between text and %s sources", ds, name, how)
+				}
 			}
 		}
 	}
@@ -86,10 +106,14 @@ func TestStreamedBinarySourceMatchesText(t *testing.T) {
 	dir := t.TempDir()
 	textPath := filepath.Join(dir, "g.txt")
 	binPath := filepath.Join(dir, "g.csrg")
+	v2Path := filepath.Join(dir, "g.v2.csrg")
 	if err := graph.SaveEdgeList(g, textPath); err != nil {
 		t.Fatal(err)
 	}
 	if err := graph.SaveCSR(g, binPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.SaveCSRVersion(g, v2Path, graph.CSRVersion2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -106,17 +130,20 @@ func TestStreamedBinarySourceMatchesText(t *testing.T) {
 		}
 		return b.Finish()
 	}
-	st, sb := summarize(textPath), summarize(binPath)
-	if st.NumEdges != sb.NumEdges || st.NumVertices != sb.NumVertices {
-		t.Errorf("streamed sizes differ: text |V|=%d |E|=%d, binary |V|=%d |E|=%d",
-			st.NumVertices, st.NumEdges, sb.NumVertices, sb.NumEdges)
-	}
-	if st.ReplicationFactor() != sb.ReplicationFactor() || st.EdgeBalance() != sb.EdgeBalance() {
-		t.Errorf("streamed metrics differ: text rf=%v bal=%v, binary rf=%v bal=%v",
-			st.ReplicationFactor(), st.EdgeBalance(), sb.ReplicationFactor(), sb.EdgeBalance())
-	}
-	if !int32SlicesEqual(st.Masters, sb.Masters) {
-		t.Error("streamed masters differ between text and binary sources")
+	st := summarize(textPath)
+	for _, path := range []string{binPath, v2Path} {
+		sb := summarize(path)
+		if st.NumEdges != sb.NumEdges || st.NumVertices != sb.NumVertices {
+			t.Errorf("%s: streamed sizes differ: text |V|=%d |E|=%d, binary |V|=%d |E|=%d",
+				path, st.NumVertices, st.NumEdges, sb.NumVertices, sb.NumEdges)
+		}
+		if st.ReplicationFactor() != sb.ReplicationFactor() || st.EdgeBalance() != sb.EdgeBalance() {
+			t.Errorf("%s: streamed metrics differ: text rf=%v bal=%v, binary rf=%v bal=%v",
+				path, st.ReplicationFactor(), st.EdgeBalance(), sb.ReplicationFactor(), sb.EdgeBalance())
+		}
+		if !int32SlicesEqual(st.Masters, sb.Masters) {
+			t.Errorf("%s: streamed masters differ between text and binary sources", path)
+		}
 	}
 }
 

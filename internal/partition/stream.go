@@ -258,6 +258,23 @@ func (b *StreamBuilder) Feed(batch EdgeBatch) error {
 	return nil
 }
 
+// merge folds another builder's accumulated state into b. Every piece of
+// StreamBuilder state is a commutative monoid under merge (counter sums,
+// bit-set unions, max vertex id), which is what makes sharded ingress exact:
+// masters and metrics are derived only at Finish, from the merged state.
+func (b *StreamBuilder) merge(o *StreamBuilder) {
+	if o.n > b.n {
+		b.n = o.n
+	}
+	b.numEdges += o.numEdges
+	for p := range b.edgeCount {
+		b.edgeCount[p] += o.edgeCount[p]
+	}
+	b.replicas.or(o.replicas)
+	b.inParts.or(o.inParts)
+	b.outParts.or(o.outParts)
+}
+
 // Finish derives masters and the quality metrics from the accumulated state.
 // The summary matches what Partition would have computed for the same edges:
 // identical EdgeCount, Masters and ReplicationFactor.
