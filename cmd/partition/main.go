@@ -8,12 +8,19 @@
 // plus one batch, no matter how large the edge list is. Streaming accepts
 // both formats; the binary one skips text parsing entirely.
 //
+// With -churn N, the edge list is replayed as N deterministic timestamped
+// add/delete windows through a long-lived mutable partition state instead
+// of one-shot ingress; -rebalance sets the edge-balance threshold above
+// which edges migrate off overloaded partitions, and -hot K replicates the
+// K highest-degree vertices everywhere.
+//
 // Usage:
 //
 //	partition -input graph.txt -strategy HDRF -parts 16
 //	partition -input graph.csrg -strategy HDRF -parts 16
 //	partition -input huge.csrg -strategy Grid -parts 25 -stream
 //	partition -dataset uk-web -strategy Grid -parts 25 -verbose
+//	partition -dataset uk-web -strategy HDRF -parts 16 -churn 6 -rebalance 1.2 -hot 64
 //	partition -strategies            # list strategies + capability class
 package main
 
@@ -29,6 +36,7 @@ import (
 	"graphpart/internal/cluster"
 	"graphpart/internal/datasets"
 	"graphpart/internal/decision"
+	"graphpart/internal/gen"
 	"graphpart/internal/graph"
 	"graphpart/internal/partition"
 	"graphpart/internal/report"
@@ -48,6 +56,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel ingress workers for the materialized path (0 = GOMAXPROCS; -stream is single-pass sequential)")
 		stream    = flag.Bool("stream", false, "stream -input in batches without materializing the edge list (stateless strategies only)")
 		batch     = flag.Int("batch", 0, "edges per stream batch (0 = default)")
+		churn     = flag.Int("churn", 0, "replay the graph as N timestamped add/delete windows through a mutable partition state instead of one-shot ingress")
+		churnDel  = flag.Float64("churn-del", 0.2, "per-window deletion fraction of that window's additions (with -churn)")
+		rebalance = flag.Float64("rebalance", 0, "edge-balance threshold: migrate edges whenever max/mean drifts above it (with -churn; 0 = off)")
+		hot       = flag.Int("hot", 0, "replicate the top-K live-degree vertices on every partition (with -churn; 0 = off)")
 		verbose   = flag.Bool("verbose", false, "print per-partition loads")
 		list      = flag.Bool("strategies", false, "list available strategies with their ingress capability class and exit")
 		recommend = flag.Bool("recommend", false, "also print the decision-tree recommendation for this graph")
@@ -81,6 +93,22 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *churn > 0 {
+		if err := runChurn(os.Stdout, g, s, churnOptions{
+			Parts:     *parts,
+			Seed:      *seed,
+			Windows:   *churn,
+			DelFrac:   *churnDel,
+			Rebalance: *rebalance,
+			Hot:       *hot,
+			Workers:   *workers,
+			Verbose:   *verbose,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	a, err := partition.ParallelPartition(g, s, *parts, *seed, *workers)
@@ -163,6 +191,62 @@ func streamPartition(s partition.Strategy, input string, parts int, seed uint64,
 			log.Fatal(err)
 		}
 	}
+}
+
+// churnOptions configures a -churn replay.
+type churnOptions struct {
+	Parts     int
+	Seed      uint64
+	Windows   int
+	DelFrac   float64
+	Rebalance float64 // edge-balance threshold, 0 = off
+	Hot       int     // top-K hot-vertex replication, 0 = off
+	Workers   int
+	Verbose   bool
+}
+
+// runChurn replays the graph's edge list as a deterministic timestamped
+// add/delete trace through a long-lived PartitionState, printing per-window
+// quality and the final summary — the incremental counterpart of the
+// one-shot path below.
+func runChurn(out io.Writer, g *graph.Graph, s partition.Strategy, opt churnOptions) error {
+	st, err := partition.NewPartitionState(s, opt.Parts, opt.Seed, opt.Workers)
+	if err != nil {
+		return err
+	}
+	if opt.Hot > 0 {
+		st.SetHotReplication(opt.Hot)
+	}
+	rcfg := partition.RebalanceConfig{MaxBalance: opt.Rebalance}
+	fmt.Fprintf(out, "graph:               %v (churn: %d windows, del-frac %.2f)\n", g, opt.Windows, opt.DelFrac)
+	moved := 0
+	_, err = gen.ChurnTrace(g.Edges, gen.ChurnConfig{Windows: opt.Windows, DelFrac: opt.DelFrac, Seed: opt.Seed},
+		func(w gen.ChurnWindow) error {
+			stats, err := st.ApplyBatch(gen.Edges(w.Adds), gen.Edges(w.Dels))
+			if err != nil {
+				return err
+			}
+			line := fmt.Sprintf("window %d:            +%d -%d | edges=%d rf=%.4f balance=%.4f",
+				w.Index, stats.Added, stats.Deleted, st.NumEdges(), st.ReplicationFactor(), st.EdgeBalance())
+			if stats.Rebuilt {
+				line += " (repartitioned)"
+			}
+			if opt.Rebalance > 1 && st.NeedsRebalance(rcfg) {
+				rs := st.Rebalance(rcfg)
+				moved += rs.Moved
+				line += fmt.Sprintf(" rebalanced(moved=%d balance=%.4f)", rs.Moved, rs.BalanceAfter)
+			}
+			fmt.Fprintln(out, line)
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	if moved > 0 {
+		fmt.Fprintf(out, "migrated:            %d edges\n", moved)
+	}
+	printMetrics(out, s, opt.Parts, st, st.EdgeCount(), opt.Verbose, "")
+	return nil
 }
 
 // cellDims are the dimensions every cmd/partition cell carries.

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"graphpart/internal/gen"
+	"graphpart/internal/partition"
+)
+
+func TestRunChurnRendersWindowsAndSummary(t *testing.T) {
+	g := gen.PrefAttach("pa", 1500, 4, 3)
+	var sb strings.Builder
+	err := runChurn(&sb, g, partition.MustNew("HDRF", partition.Options{Loaders: 1}), churnOptions{
+		Parts: 8, Seed: 1, Windows: 4, DelFrac: 0.2, Rebalance: 1.3, Hot: 8, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"window 0:", "window 3:", "replication factor:", "edge balance:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "window 4:") {
+		t.Errorf("more windows than requested:\n%s", out)
+	}
+}
+
+func TestRunChurnDeterministic(t *testing.T) {
+	g := gen.RoadNet("road", 20, 20, 2)
+	render := func() string {
+		var sb strings.Builder
+		if err := runChurn(&sb, g, partition.MustNew("2D", partition.Options{}), churnOptions{
+			Parts: 9, Seed: 5, Windows: 3, DelFrac: 0.3, Workers: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("churn replay not deterministic:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestRunChurnMultiPassRepartitions(t *testing.T) {
+	g := gen.PrefAttach("pa", 800, 3, 1)
+	var sb strings.Builder
+	err := runChurn(&sb, g, partition.MustNew("Hybrid", partition.Options{HybridThreshold: 30}), churnOptions{
+		Parts: 8, Seed: 1, Windows: 2, DelFrac: 0.1, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(repartitioned)") {
+		t.Errorf("multi-pass churn should note per-window repartitioning:\n%s", sb.String())
+	}
+}

@@ -21,6 +21,7 @@ var goldenSlow = map[string]bool{
 	"fig5.9":     true,
 	"tab5.1":     true,
 	"adv.regret": true,
+	"dyn.drift":  true,
 }
 
 // TestGoldenTableRenders pins every experiment's plain-text table render

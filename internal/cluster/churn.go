@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"graphpart/internal/partition"
+)
+
+// ChurnWindowStats is the simulated cost of absorbing one churn window
+// incrementally: assign the additions, ship added + migrated edges to their
+// partitions, and patch local structures (tombstone deletions, splice
+// additions) — without reloading or repartitioning the live graph.
+type ChurnWindowStats struct {
+	Seconds         float64
+	AssignSeconds   float64
+	ShuffleSeconds  float64
+	FinalizeSeconds float64
+}
+
+// ChurnWindow prices one incremental churn window on cluster cfg. added,
+// deleted and migrated count the window's edge additions, deletions and
+// rebalancer migrations. The model mirrors Ingress phase for phase, scaled
+// to the delta instead of the whole edge list:
+//
+//   - assignment touches only added edges (hash strategies O(1)/edge, the
+//     greedy family O(P)/edge via the shape's heuristic passes — a
+//     persistent loader scores candidates exactly like one-shot ingress);
+//   - added and migrated edges shuffle with the same (M−1)/M remote
+//     fraction as one-shot ingress, assumed spread across machines;
+//   - every touched edge (added, deleted, migrated) pays the finalize cost
+//     to patch local structures, deletions as tombstones;
+//   - one barrier closes the window.
+//
+// Deliberately absent: load from disk (churn arrives over the wire) and
+// any full-scan term — which is precisely why incremental maintenance wins
+// against per-window repartitioning (priced via Ingress) until migrations
+// approach the live edge count.
+func ChurnWindow(shape partition.IngressShape, numParts int, added, deleted, migrated int64, cfg Config, model CostModel) ChurnWindowStats {
+	m := float64(cfg.Machines)
+
+	assignPerEdge := model.HashAssignNs
+	if shape.HeuristicPasses > 0 {
+		assignPerEdge += model.HeuristicAssignNs * float64(numParts)
+	}
+	assignSec := float64(added) * assignPerEdge / 1e9
+
+	remoteFrac := (m - 1) / m
+	wire := float64(added+migrated) / m * remoteFrac * float64(model.EdgeWireBytes)
+	shuffleSec := wire / model.BandwidthBytesPerSec
+
+	touched := float64(added + deleted + 2*migrated) // a migration leaves one partition and enters another
+	finalizeSec := touched / m * model.FinalizeEdgeNs / 1e9
+
+	total := assignSec + shuffleSec + finalizeSec + model.BarrierNs/1e9
+	return ChurnWindowStats{
+		Seconds:         total,
+		AssignSeconds:   assignSec,
+		ShuffleSeconds:  shuffleSec,
+		FinalizeSeconds: finalizeSec,
+	}
+}

@@ -45,6 +45,19 @@ func (m *bitMatrix) has(row int, col int) bool {
 	return m.bits[row*m.words+col/64]&(1<<uint(col%64)) != 0
 }
 
+// clear unsets one bit; the inverse of set, needed once partitions can lose
+// a vertex's last edge under churn.
+func (m *bitMatrix) clear(row int, col int) {
+	m.bits[row*m.words+col/64] &^= 1 << uint(col%64)
+}
+
+// reset zeroes every bit in place, keeping the allocated rows.
+func (m *bitMatrix) reset() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}
+
 // count returns the number of set bits in a row.
 func (m *bitMatrix) count(row int) int {
 	n := 0

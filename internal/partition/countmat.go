@@ -1,0 +1,58 @@
+package partition
+
+// countMatrix is a dense rows×cols int32 count matrix: per vertex, how many
+// live edge endpoints it has on each partition. A bitMatrix can say a vertex
+// touches a partition but cannot say when it stops; the reference counts are
+// what make replica sets decrementable under edge deletion.
+type countMatrix struct {
+	cols   int
+	counts []int32
+}
+
+func newCountMatrix(rows, cols int) *countMatrix {
+	return &countMatrix{cols: cols, counts: make([]int32, rows*cols)}
+}
+
+// ensureRows grows the matrix to hold at least rows rows, reallocating
+// geometrically like bitMatrix.ensureRows.
+func (m *countMatrix) ensureRows(rows int) {
+	need := rows * m.cols
+	if need <= len(m.counts) {
+		return
+	}
+	if need <= cap(m.counts) {
+		m.counts = m.counts[:need]
+		return
+	}
+	newCap := 2 * cap(m.counts)
+	if newCap < need {
+		newCap = need
+	}
+	nc := make([]int32, need, newCap)
+	copy(nc, m.counts)
+	m.counts = nc
+}
+
+// inc increments the (row, col) count and returns the new value.
+func (m *countMatrix) inc(row, col int) int32 {
+	m.counts[row*m.cols+col]++
+	return m.counts[row*m.cols+col]
+}
+
+// dec decrements the (row, col) count and returns the new value.
+func (m *countMatrix) dec(row, col int) int32 {
+	m.counts[row*m.cols+col]--
+	return m.counts[row*m.cols+col]
+}
+
+// get returns the (row, col) count.
+func (m *countMatrix) get(row, col int) int32 {
+	return m.counts[row*m.cols+col]
+}
+
+// reset zeroes every count in place, keeping the allocated rows.
+func (m *countMatrix) reset() {
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+}

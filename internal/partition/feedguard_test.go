@@ -1,0 +1,66 @@
+package partition
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graphpart/internal/graph"
+)
+
+func TestStreamBuilderFeedAfterFinish(t *testing.T) {
+	b, err := NewStreamBuilder(Random{}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Feed(EdgeBatch{Edges: []graph.Edge{{Src: 0, Dst: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	sum := b.Finish()
+	if sum.NumEdges != 1 {
+		t.Fatalf("summary has %d edges, want 1", sum.NumEdges)
+	}
+	err = b.Feed(EdgeBatch{Edges: []graph.Edge{{Src: 1, Dst: 2}}})
+	if !errors.Is(err, ErrFeedAfterFinish) {
+		t.Fatalf("Feed after Finish: got %v, want ErrFeedAfterFinish", err)
+	}
+	// Finish is idempotent and the late Feed must not have leaked in.
+	if again := b.Finish(); again != sum || again.NumEdges != 1 {
+		t.Fatalf("second Finish returned a different summary (%d edges)", again.NumEdges)
+	}
+}
+
+func TestShardedFeedAfterFinish(t *testing.T) {
+	sb, err := NewShardedStreamBuilder(Random{}, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Feed(EdgeBatch{Edges: []graph.Edge{{Src: 0, Dst: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	err = sb.Feed(EdgeBatch{Edges: []graph.Edge{{Src: 1, Dst: 2}}})
+	if !errors.Is(err, ErrFeedAfterFinish) {
+		t.Fatalf("sharded Feed after Finish: got %v, want ErrFeedAfterFinish", err)
+	}
+	sum, err := sb.Finish()
+	if err != nil || sum.NumEdges != 1 {
+		t.Fatalf("second Finish: %v, %d edges (want 1)", err, sum.NumEdges)
+	}
+}
+
+func TestShardedRejectsNonStateless(t *testing.T) {
+	_, err := NewShardedStreamBuilder(MustNew("HDRF", Options{}), 4, 2, 1)
+	if err == nil || !strings.Contains(err.Error(), "StreamingStrategy") {
+		t.Fatalf("HDRF: got %v, want error naming StreamingStrategy", err)
+	}
+	_, err = NewShardedStreamBuilder(MustNew("Hybrid", Options{HybridThreshold: 30}), 4, 2, 1)
+	if err == nil || !strings.Contains(err.Error(), "MultiPassStrategy") {
+		t.Fatalf("Hybrid: got %v, want error naming MultiPassStrategy", err)
+	}
+	if _, err := NewShardedStreamBuilder(MustNew("Grid", Options{}), 9, 2, 1); err != nil {
+		t.Fatalf("stateless strategy rejected: %v", err)
+	}
+}

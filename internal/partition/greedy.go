@@ -38,6 +38,22 @@ func newLoaderState(numVertices, numParts int, seed uint64, partialDeg bool) *lo
 	return st
 }
 
+// grow extends the state to cover at least n vertices, so a persistent
+// incremental loader can follow a graph whose vertex set is discovered as
+// edges arrive.
+func (st *loaderState) grow(n int) {
+	st.parts.ensureRows(n)
+	if st.pdeg != nil && n > len(st.pdeg) {
+		if n <= cap(st.pdeg) {
+			st.pdeg = st.pdeg[:n]
+		} else {
+			np := make([]int32, n, 2*n)
+			copy(np, st.pdeg)
+			st.pdeg = np
+		}
+	}
+}
+
 // leastLoaded returns the least-loaded partition among the set bits of
 // mask rows a (and b, if both non-nil: the union), or over all partitions
 // when none is set. Ties are broken pseudo-randomly, as in PowerGraph.
@@ -86,6 +102,40 @@ func (l *greedyLoader) Assign(e graph.Edge) int32 {
 	return int32(p)
 }
 
+// greedyIncremental is a persistent single-loader view used for churn: adds
+// stream through the ordinary greedy pick, deletes decrement the loads and
+// partial degrees so balance pressure tracks the live graph. The placement
+// sets stay monotone — the loader is oblivious to whether a vertex still
+// has edges on a partition, just as it is oblivious to other loaders —
+// which keeps per-batch work O(batch) at the cost of stale affinity after
+// heavy deletion. An add-only trace reproduces the one-shot single-loader
+// pass (Options{Loaders: 1}) placement for placement.
+type greedyIncremental struct {
+	greedyLoader
+}
+
+// AssignAdd implements IncrementalAssigner.
+func (l *greedyIncremental) AssignAdd(e graph.Edge) int32 {
+	l.st.grow(int(max(e.Src, e.Dst)) + 1)
+	return l.Assign(e)
+}
+
+// ObserveDelete implements IncrementalAssigner.
+func (l *greedyIncremental) ObserveDelete(e graph.Edge, p int32) {
+	if l.st.load[p] > 0 {
+		l.st.load[p]--
+	}
+	if l.st.pdeg != nil {
+		l.st.grow(int(max(e.Src, e.Dst)) + 1)
+		if l.st.pdeg[e.Src] > 0 {
+			l.st.pdeg[e.Src]--
+		}
+		if l.st.pdeg[e.Dst] > 0 {
+			l.st.pdeg[e.Dst]--
+		}
+	}
+}
+
 // Oblivious is PowerGraph's greedy heuristic (§5.2.2, Appendix A). For
 // each edge (u,v) with current placement sets A(u), A(v):
 //
@@ -124,6 +174,16 @@ func (o Oblivious) NewLoader(numVertices, numParts, id int, seed uint64) Loader 
 // Partition implements Strategy.
 func (o Oblivious) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
 	return streamingPartition(o, g, numParts, seed)
+}
+
+// NewIncremental implements IncrementalStrategy: one persistent loader
+// (loader id 0) whose state follows adds and deletes across batches.
+func (o Oblivious) NewIncremental(numParts int, seed uint64) (IncrementalAssigner, error) {
+	return &greedyIncremental{greedyLoader{
+		st:       newLoaderState(0, numParts, hashing.Combine(seed, 0), false),
+		numParts: numParts,
+		cands:    make([]int, 0, numParts),
+	}}, nil
 }
 
 // HDRF is High-Degree Replicated First (§5.2.4, Appendix B): greedy like
@@ -170,6 +230,21 @@ func (h HDRF) NewLoader(numVertices, numParts, id int, seed uint64) Loader {
 // Partition implements Strategy.
 func (h HDRF) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
 	return streamingPartition(h, g, numParts, seed)
+}
+
+// NewIncremental implements IncrementalStrategy: one persistent loader
+// whose loads and partial degrees follow adds and deletes across batches.
+func (h HDRF) NewIncremental(numParts int, seed uint64) (IncrementalAssigner, error) {
+	lambda := h.Lambda
+	if lambda == 0 {
+		lambda = 1
+	}
+	return &greedyIncremental{greedyLoader{
+		st:       newLoaderState(0, numParts, hashing.Combine(seed, 0), true),
+		numParts: numParts,
+		hdrf:     true,
+		lambda:   lambda,
+	}}, nil
 }
 
 // loadersOrDefault resolves a NumLoaders option: 0 means one loader per

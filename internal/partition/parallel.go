@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"graphpart/internal/graph"
+	"graphpart/internal/metrics"
 )
 
 // ParallelPartition partitions g with s using up to `workers` concurrent
@@ -181,7 +182,9 @@ func (a *Assignment) buildParallel(res *Result, seed uint64, workers int) error 
 	}
 	for _, local := range counts {
 		for p, c := range local {
-			a.EdgeCount[p] += c
+			if c != 0 {
+				a.q.AddEdges(p, c)
+			}
 		}
 	}
 
@@ -216,33 +219,37 @@ func (a *Assignment) buildParallel(res *Result, seed uint64, workers int) error 
 	}
 	wg.Wait()
 
-	// Phase 3: masters and replica totals, sharded by vertex range.
+	// Phase 3: masters and replica accounting, sharded by vertex range.
+	// Each worker accumulates its shard's image counts into a private
+	// quality summary; the merge is a sum, so the folded result equals the
+	// sequential replay.
 	a.Masters = make([]int32, n)
-	repTotals := make([]int64, workers)
+	locals := make([]*metrics.Quality, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var total int64
+			local := metrics.NewQuality(numParts)
 			for v := n * w / workers; v < n*(w+1)/workers; v++ {
 				reps := a.replicas.count(v)
 				if reps == 0 {
 					a.Masters[v] = -1
 					continue
 				}
-				total += int64(reps)
+				local.VertexPlaced()
+				a.replicas.forEach(v, local.AddReplica)
 				hint := int32(-1)
 				if len(res.MasterHint) == n {
 					hint = res.MasterHint[v]
 				}
 				a.Masters[v] = chooseMaster(a.replicas, v, reps, hint, numParts, seed)
 			}
-			repTotals[w] = total
+			locals[w] = local
 		}(w)
 	}
 	wg.Wait()
-	for _, t := range repTotals {
-		a.totalReplicas += t
+	for _, local := range locals {
+		a.q.Merge(local)
 	}
 	return nil
 }

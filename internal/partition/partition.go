@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"graphpart/internal/graph"
+	"graphpart/internal/metrics"
 )
 
 // Result is what a Strategy produces: a partition id per edge, and
@@ -81,13 +82,16 @@ type Assignment struct {
 
 	EdgeParts []int32
 	Masters   []int32 // -1 for isolated vertices
-	EdgeCount []int64 // edges per partition
+	EdgeCount []int64 // edges per partition (aliases the quality summary)
 
 	replicas     *bitMatrix // partitions holding any edge of v
 	inEdgeParts  *bitMatrix // partitions holding ≥1 in-edge of v
 	outEdgeParts *bitMatrix // partitions holding ≥1 out-edge of v
 
-	totalReplicas int64
+	// q holds the aggregate quality summary. The one-shot build is the
+	// replay-from-empty case of the same incremental accumulator
+	// PartitionState maintains under churn.
+	q *metrics.Quality
 }
 
 // Partition runs a strategy against a graph and materializes the result
@@ -119,11 +123,12 @@ func newAssignment(g *graph.Graph, s Strategy, numParts int, seed uint64, res *R
 		Strategy:     s.Name(),
 		Passes:       s.Passes(),
 		EdgeParts:    res.EdgeParts,
-		EdgeCount:    make([]int64, numParts),
+		q:            metrics.NewQuality(numParts),
 		replicas:     newBitMatrix(n, numParts),
 		inEdgeParts:  newBitMatrix(n, numParts),
 		outEdgeParts: newBitMatrix(n, numParts),
 	}
+	a.EdgeCount = a.q.EdgeCounts()
 	if workers > 1 {
 		if err := a.buildParallel(res, seed, workers); err != nil {
 			return nil, err
@@ -136,7 +141,7 @@ func newAssignment(g *graph.Graph, s Strategy, numParts int, seed uint64, res *R
 			return nil, fmt.Errorf("partition: strategy %s placed edge %d on partition %d (numParts=%d)",
 				a.Strategy, i, p, numParts)
 		}
-		a.EdgeCount[p]++
+		a.q.AddEdge(int(p))
 		a.replicas.set(int(e.Src), int(p))
 		a.replicas.set(int(e.Dst), int(p))
 		a.outEdgeParts.set(int(e.Src), int(p))
@@ -154,7 +159,8 @@ func newAssignment(g *graph.Graph, s Strategy, numParts int, seed uint64, res *R
 			a.Masters[v] = -1
 			continue
 		}
-		a.totalReplicas += int64(reps)
+		a.q.VertexPlaced()
+		a.replicas.forEach(v, a.q.AddReplica)
 		hint := int32(-1)
 		if len(res.MasterHint) == n {
 			hint = res.MasterHint[v]
@@ -214,50 +220,23 @@ func (a *Assignment) OutEdgesLocalToMaster(v graph.VertexID) bool {
 // ReplicationFactor returns the average number of images per vertex over
 // all non-isolated vertices — the paper's headline partition-quality metric
 // (§5.1.1).
-func (a *Assignment) ReplicationFactor() float64 {
-	placed := 0
-	for v := 0; v < a.G.NumVertices(); v++ {
-		if a.Masters[v] >= 0 {
-			placed++
-		}
-	}
-	if placed == 0 {
-		return 0
-	}
-	return float64(a.totalReplicas) / float64(placed)
-}
+func (a *Assignment) ReplicationFactor() float64 { return a.q.ReplicationFactor() }
 
 // TotalReplicas returns the total number of vertex images across all
 // partitions.
-func (a *Assignment) TotalReplicas() int64 { return a.totalReplicas }
+func (a *Assignment) TotalReplicas() int64 { return a.q.TotalReplicas() }
 
 // EdgeBalance returns max(edges per partition) / mean(edges per partition),
 // ≥1; 1.0 is perfectly balanced. The load-balance metric the strategies'
 // heuristics optimize.
-func (a *Assignment) EdgeBalance() float64 {
-	if len(a.EdgeCount) == 0 || a.G.NumEdges() == 0 {
-		return 1
-	}
-	var max int64
-	for _, c := range a.EdgeCount {
-		if c > max {
-			max = c
-		}
-	}
-	mean := float64(a.G.NumEdges()) / float64(a.NumParts)
-	return float64(max) / mean
-}
+func (a *Assignment) EdgeBalance() float64 { return a.q.EdgeBalance() }
 
-// ReplicasOnPart returns the number of vertex images partition p holds.
-func (a *Assignment) ReplicasOnPart(p int) int64 {
-	var n int64
-	for v := 0; v < a.G.NumVertices(); v++ {
-		if a.replicas.has(v, p) {
-			n++
-		}
-	}
-	return n
-}
+// ReplicasOnPart returns the number of vertex images partition p holds
+// (precomputed during the build; O(1)).
+func (a *Assignment) ReplicasOnPart(p int) int64 { return a.q.ReplicasOnPart(p) }
+
+// Quality returns the assignment's aggregate quality summary.
+func (a *Assignment) Quality() *metrics.Quality { return a.q }
 
 // Mirrors returns the number of mirror images of v (replicas minus master).
 func (a *Assignment) Mirrors(v graph.VertexID) int {

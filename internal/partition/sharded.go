@@ -29,6 +29,7 @@ type ShardedStreamBuilder struct {
 	failed   atomic.Bool
 	pool     sync.Pool
 	done     bool
+	sum      *StreamSummary
 }
 
 type shardJob struct {
@@ -37,8 +38,23 @@ type shardJob struct {
 }
 
 // NewShardedStreamBuilder prepares a sharded stream ingress with the given
-// worker count (≤0 means GOMAXPROCS).
-func NewShardedStreamBuilder(s StatelessStrategy, numParts, workers int, seed uint64) (*ShardedStreamBuilder, error) {
+// worker count (≤0 means GOMAXPROCS). Only stateless strategies can shard:
+// batches interleave arbitrarily across workers, which is sound only when
+// per-edge placement is order-independent. Strategies carrying per-loader
+// state (StreamingStrategy) or requiring multiple passes (MultiPassStrategy)
+// are rejected with an error naming the capability.
+func NewShardedStreamBuilder(strat Strategy, numParts, workers int, seed uint64) (*ShardedStreamBuilder, error) {
+	s, ok := strat.(StatelessStrategy)
+	if !ok {
+		switch strat.(type) {
+		case StreamingStrategy:
+			return nil, fmt.Errorf("partition: strategy %s is a StreamingStrategy (ordered per-loader state); sharded stream ingress requires a StatelessStrategy", strat.Name())
+		case MultiPassStrategy:
+			return nil, fmt.Errorf("partition: strategy %s is a MultiPassStrategy (needs multiple passes over the edge list); sharded stream ingress requires a StatelessStrategy", strat.Name())
+		default:
+			return nil, fmt.Errorf("partition: strategy %s does not implement StatelessStrategy; sharded stream ingress requires one", strat.Name())
+		}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -82,7 +98,7 @@ func NewShardedStreamBuilder(s StatelessStrategy, numParts, workers int, seed ui
 // memory, so the batch→Feed→release cycle allocates nothing.
 func (sb *ShardedStreamBuilder) Feed(batch EdgeBatch) error {
 	if sb.done {
-		return fmt.Errorf("partition: sharded Feed after Finish")
+		return fmt.Errorf("%w (sharded)", ErrFeedAfterFinish)
 	}
 	if sb.failed.Load() {
 		return sb.firstErr()
@@ -115,9 +131,12 @@ func (sb *ShardedStreamBuilder) Finish() (*StreamSummary, error) {
 	if err := sb.firstErr(); err != nil {
 		return nil, err
 	}
-	root := sb.builders[0]
-	for _, o := range sb.builders[1:] {
-		root.merge(o)
+	if sb.sum == nil {
+		root := sb.builders[0]
+		for _, o := range sb.builders[1:] {
+			root.merge(o)
+		}
+		sb.sum = root.Finish()
 	}
-	return root.Finish(), nil
+	return sb.sum, nil
 }

@@ -1,11 +1,18 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 
 	"graphpart/internal/graph"
 	"graphpart/internal/hashing"
+	"graphpart/internal/metrics"
 )
+
+// ErrFeedAfterFinish is returned by StreamBuilder.Feed and
+// ShardedStreamBuilder.Feed once Finish has been called: the summary has
+// been derived and the builder accepts no more edges.
+var ErrFeedAfterFinish = errors.New("partition: Feed after Finish")
 
 // EdgeBatch is one chunk of an edge stream: a run of edges plus the global
 // offset of Edges[0] within the stream. Batches are how the ingress pipeline
@@ -202,12 +209,12 @@ type StreamBuilder struct {
 	asg      Assigner
 	hinter   MasterHinter // nil when the strategy emits no hints
 
-	n         int // vertices seen so far (max id + 1)
-	numEdges  int64
-	edgeCount []int64
-	replicas  *bitMatrix
-	inParts   *bitMatrix
-	outParts  *bitMatrix
+	n        int // vertices seen so far (max id + 1)
+	q        *metrics.Quality
+	replicas *bitMatrix
+	inParts  *bitMatrix
+	outParts *bitMatrix
+	finished *StreamSummary // non-nil once Finish has derived the summary
 }
 
 // NewStreamBuilder prepares a stream ingress for a stateless strategy.
@@ -220,22 +227,26 @@ func NewStreamBuilder(s StatelessStrategy, numParts int, seed uint64) (*StreamBu
 		return nil, fmt.Errorf("partition: strategy %s: %w", s.Name(), err)
 	}
 	b := &StreamBuilder{
-		strategy:  s.Name(),
-		numParts:  numParts,
-		seed:      seed,
-		asg:       asg,
-		edgeCount: make([]int64, numParts),
-		replicas:  newBitMatrix(0, numParts),
-		inParts:   newBitMatrix(0, numParts),
-		outParts:  newBitMatrix(0, numParts),
+		strategy: s.Name(),
+		numParts: numParts,
+		seed:     seed,
+		asg:      asg,
+		q:        metrics.NewQuality(numParts),
+		replicas: newBitMatrix(0, numParts),
+		inParts:  newBitMatrix(0, numParts),
+		outParts: newBitMatrix(0, numParts),
 	}
 	b.hinter, _ = asg.(MasterHinter)
 	return b, nil
 }
 
 // Feed assigns and accounts one batch of edges. The batch's slice is not
-// retained; callers may reuse it.
+// retained; callers may reuse it. Feeding after Finish returns
+// ErrFeedAfterFinish.
 func (b *StreamBuilder) Feed(batch EdgeBatch) error {
+	if b.finished != nil {
+		return fmt.Errorf("%w (strategy %s)", ErrFeedAfterFinish, b.strategy)
+	}
 	for i, e := range batch.Edges {
 		if v := int(max(e.Src, e.Dst)) + 1; v > b.n {
 			b.n = v
@@ -248,12 +259,11 @@ func (b *StreamBuilder) Feed(batch EdgeBatch) error {
 			return fmt.Errorf("partition: strategy %s placed edge %d on partition %d (numParts=%d)",
 				b.strategy, batch.Offset+int64(i), p, b.numParts)
 		}
-		b.edgeCount[p]++
+		b.q.AddEdge(int(p))
 		b.replicas.set(int(e.Src), int(p))
 		b.replicas.set(int(e.Dst), int(p))
 		b.outParts.set(int(e.Src), int(p))
 		b.inParts.set(int(e.Dst), int(p))
-		b.numEdges++
 	}
 	return nil
 }
@@ -266,10 +276,7 @@ func (b *StreamBuilder) merge(o *StreamBuilder) {
 	if o.n > b.n {
 		b.n = o.n
 	}
-	b.numEdges += o.numEdges
-	for p := range b.edgeCount {
-		b.edgeCount[p] += o.edgeCount[p]
-	}
+	b.q.Merge(o.q)
 	b.replicas.or(o.replicas)
 	b.inParts.or(o.inParts)
 	b.outParts.or(o.outParts)
@@ -277,17 +284,21 @@ func (b *StreamBuilder) merge(o *StreamBuilder) {
 
 // Finish derives masters and the quality metrics from the accumulated state.
 // The summary matches what Partition would have computed for the same edges:
-// identical EdgeCount, Masters and ReplicationFactor.
+// identical EdgeCount, Masters and ReplicationFactor. Finish is idempotent;
+// after the first call the builder accepts no more edges.
 func (b *StreamBuilder) Finish() *StreamSummary {
+	if b.finished != nil {
+		return b.finished
+	}
 	sum := &StreamSummary{
-		Strategy:     b.strategy,
-		NumParts:     b.numParts,
-		NumVertices:  b.n,
-		NumEdges:     b.numEdges,
-		EdgeCount:    b.edgeCount,
-		Masters:      make([]int32, b.n),
-		replicas:     b.replicas,
-		partReplicas: make([]int64, b.numParts),
+		Strategy:    b.strategy,
+		NumParts:    b.numParts,
+		NumVertices: b.n,
+		NumEdges:    b.q.NumEdges(),
+		EdgeCount:   b.q.EdgeCounts(),
+		Masters:     make([]int32, b.n),
+		replicas:    b.replicas,
+		q:           b.q,
 	}
 	for v := 0; v < b.n; v++ {
 		reps := b.replicas.count(v)
@@ -295,15 +306,15 @@ func (b *StreamBuilder) Finish() *StreamSummary {
 			sum.Masters[v] = -1
 			continue
 		}
-		b.replicas.forEach(v, func(p int) { sum.partReplicas[p]++ })
-		sum.totalReplicas += int64(reps)
-		sum.placed++
+		b.q.VertexPlaced()
+		b.replicas.forEach(v, b.q.AddReplica)
 		hint := int32(-1)
 		if b.hinter != nil {
 			hint = b.hinter.MasterHint(graph.VertexID(v))
 		}
 		sum.Masters[v] = chooseMaster(b.replicas, v, reps, hint, b.numParts, b.seed)
 	}
+	b.finished = sum
 	return sum
 }
 
@@ -317,10 +328,8 @@ type StreamSummary struct {
 	EdgeCount   []int64
 	Masters     []int32 // -1 for isolated vertices
 
-	replicas      *bitMatrix
-	partReplicas  []int64
-	totalReplicas int64
-	placed        int64
+	replicas *bitMatrix
+	q        *metrics.Quality
 }
 
 // Replicas returns the number of partitions vertex v is replicated on.
@@ -328,32 +337,16 @@ func (s *StreamSummary) Replicas(v graph.VertexID) int { return s.replicas.count
 
 // ReplicasOnPart returns the number of vertex images partition p holds
 // (precomputed at Finish; O(1)).
-func (s *StreamSummary) ReplicasOnPart(p int) int64 { return s.partReplicas[p] }
+func (s *StreamSummary) ReplicasOnPart(p int) int64 { return s.q.ReplicasOnPart(p) }
 
 // TotalReplicas returns the total number of vertex images.
-func (s *StreamSummary) TotalReplicas() int64 { return s.totalReplicas }
+func (s *StreamSummary) TotalReplicas() int64 { return s.q.TotalReplicas() }
 
 // ReplicationFactor returns the average images per non-isolated vertex.
-func (s *StreamSummary) ReplicationFactor() float64 {
-	if s.placed == 0 {
-		return 0
-	}
-	return float64(s.totalReplicas) / float64(s.placed)
-}
+func (s *StreamSummary) ReplicationFactor() float64 { return s.q.ReplicationFactor() }
 
 // EdgeBalance returns max/mean edges per partition (≥1; 1.0 is balanced).
-func (s *StreamSummary) EdgeBalance() float64 {
-	if s.NumEdges == 0 {
-		return 1
-	}
-	var max int64
-	for _, c := range s.EdgeCount {
-		if c > max {
-			max = c
-		}
-	}
-	return float64(max) / (float64(s.NumEdges) / float64(s.NumParts))
-}
+func (s *StreamSummary) EdgeBalance() float64 { return s.q.EdgeBalance() }
 
 // chooseMaster picks vertex v's master: the hint when it holds a replica,
 // else a deterministic hash over the replica list — the exact rule used by

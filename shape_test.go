@@ -29,6 +29,7 @@ var slowExperiments = map[string]bool{
 	"fig5.9":     true, // compute/ingress break-even sweep
 	"tab5.1":     true, // Grid-vs-HDRF across every cluster shape
 	"adv.regret": true, // uk-web engine sweeps feeding the advisor fit
+	"dyn.drift":  true, // 9 churn traces over uk-web plus one-shot baselines
 }
 
 func TestAllExperimentsReproducePaperShapes(t *testing.T) {
