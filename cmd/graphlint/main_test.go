@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles graphlint into a temp dir and returns the binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "graphlint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVetToolProtocol drives graphlint through go vet's -vettool protocol:
+// the -V=full identity probe, then a real vet run over two clean packages
+// (including their test variants, which vet type-checks as separate units).
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(string(out))
+	if len(f) < 3 || f[1] != "version" {
+		t.Fatalf("-V=full printed %q; vet's probe requires 'name version ...'", strings.TrimSpace(string(out)))
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/report/", "./internal/metrics/")
+	vet.Dir = "../.."
+	var stderr bytes.Buffer
+	vet.Stderr = &stderr
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool over clean packages: %v\n%s", err, stderr.String())
+	}
+}
+
+// TestVetToolFlagsViolation proves findings propagate through the vet
+// protocol: a throwaway module containing a determinism-critical package
+// with a raw map range must fail `go vet -vettool` with a detrange finding.
+func TestVetToolFlagsViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmplint\n\ngo 1.22\n")
+	write("metrics.go", `package metrics
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	vet := exec.Command("go", "vet", "-vettool="+bin, ".")
+	vet.Dir = dir
+	var stderr bytes.Buffer
+	vet.Stderr = &stderr
+	if err := vet.Run(); err == nil {
+		t.Fatalf("go vet -vettool accepted a raw map range in a determinism-critical package")
+	}
+	if !strings.Contains(stderr.String(), "detrange") {
+		t.Fatalf("vet failed but without a detrange finding:\n%s", stderr.String())
+	}
+}
+
+// TestListAnalyzers pins the standalone -list mode.
+func TestListAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	for _, name := range []string{"detrange", "nondet", "registry", "unsafeguard"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}

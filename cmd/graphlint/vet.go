@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphpart/internal/analysis"
+)
+
+// vetConfig is the unit-of-work description `go vet -vettool` hands the
+// tool: one package's files plus export data for everything it imports.
+// The fields mirror golang.org/x/tools/go/analysis/unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one vet unit: parse the cfg, type-check the package
+// against the export data vet supplies, run the suite, report findings on
+// stderr in the file:line format vet relays, and write the (empty) facts
+// file vet requires to exist.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "graphlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		// graphlint exports no facts, but vet demands the file.
+		if err := os.WriteFile(cfg.VetxOutput, []byte("graphlint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "graphlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Vet resolves import paths through ImportMap before looking up export
+	// data; chase the indirection once here.
+	exports := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for from, to := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[to]; ok {
+			exports[from] = file
+		}
+	}
+	// Test variants arrive as "path [path.test]"; analyzers only care
+	// about the package name, but keep the path tidy.
+	importPath := cfg.ImportPath
+	if i := strings.IndexByte(importPath, ' '); i > 0 {
+		importPath = importPath[:i]
+	}
+	pkg, err := analysis.CheckVetUnit(importPath, cfg.GoFiles, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "graphlint:", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

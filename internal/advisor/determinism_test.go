@@ -1,0 +1,60 @@
+package advisor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFitDeterministicExplain is the determinism contract for model fitting:
+// fitting the same report twice must produce byte-identical models. This is
+// what graphlint's detrange analyzer enforces statically on this package;
+// the test catches anything the analyzer waives or cannot see.
+func TestFitDeterministicExplain(t *testing.T) {
+	rep, mans := seedInputs(t)
+	a, err := Fit(rep, mans)
+	if err != nil {
+		t.Fatalf("Fit #1: %v", err)
+	}
+	b, err := Fit(rep, mans)
+	if err != nil {
+		t.Fatalf("Fit #2: %v", err)
+	}
+	ea, eb := a.Explain(), b.Explain()
+	if ea != eb {
+		t.Fatalf("two fits of the same report explain differently:\n--- fit 1 ---\n%s\n--- fit 2 ---\n%s", ea, eb)
+	}
+	if ea == "" {
+		t.Fatal("Explain returned an empty model description")
+	}
+}
+
+// TestImpurityDeterministic pins the float-accumulation order inside the
+// Gini impurity. The label counts are chosen so that summing p² in
+// different orders produces different last-ulp results (verified offline:
+// the 120 permutations of these five counts yield three distinct float64
+// bit patterns). If impurity ever iterates its counts map directly instead
+// of via sortedKeys, this test fails within a handful of trials — and the
+// ulp difference matters, because learn() compares impurities with a 1e-12
+// epsilon when choosing splits.
+func TestImpurityDeterministic(t *testing.T) {
+	spec := []struct {
+		label string
+		n     int
+	}{{"s-a", 18}, {"s-b", 47}, {"s-c", 15}, {"s-d", 38}, {"s-e", 7}}
+	var obs []*Observation
+	for _, s := range spec {
+		for i := 0; i < s.n; i++ {
+			obs = append(obs, &Observation{Best: s.label})
+		}
+	}
+	want := impurity(obs)
+	if math.IsNaN(want) || want <= 0 || want >= 1 {
+		t.Fatalf("implausible impurity %v for a five-label mix", want)
+	}
+	for i := 0; i < 500; i++ {
+		if got := impurity(obs); got != want {
+			t.Fatalf("impurity is order-sensitive: trial %d returned %x, first call returned %x (map iteration order leaked into the float sum)",
+				i, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}

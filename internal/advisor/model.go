@@ -80,10 +80,24 @@ func Fit(rep *report.Report, mans []datasets.Manifest) (*Model, error) {
 		byEngine[o.Engine] = append(byEngine[o.Engine], o)
 	}
 	m := &Model{engines: map[string]*engineModel{}, manifests: mm, Skipped: skipped}
-	for engine, set := range byEngine {
+	for _, engine := range sortedKeys(byEngine) {
+		set := byEngine[engine]
 		m.engines[engine] = &engineModel{engine: engine, obs: set, root: learn(set, 0)}
 	}
 	return m, nil
+}
+
+// sortedKeys returns m's keys in sorted order. Every map iteration on the
+// fitting path goes through it: model fitting must be a pure function of
+// the report, and Go randomizes map order per range statement (this is
+// what graphlint's detrange analyzer enforces).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Advise is the one-shot form: fit a model from the report and manifests,
@@ -122,7 +136,10 @@ func (m *Model) Observations(engine string) []*Observation {
 
 // --- learning ---------------------------------------------------------
 
-// impurity is the Gini impurity of the best-strategy labels.
+// impurity is the Gini impurity of the best-strategy labels. The sum runs
+// over sorted labels: float accumulation is order-sensitive in the last
+// ulp, and learn() compares split scores at 1e-12, so summing in map order
+// could flip a split between two fits of the same report.
 func impurity(obs []*Observation) float64 {
 	counts := map[string]int{}
 	for _, o := range obs {
@@ -130,8 +147,8 @@ func impurity(obs []*Observation) float64 {
 	}
 	n := float64(len(obs))
 	g := 1.0
-	for _, c := range counts {
-		p := float64(c) / n
+	for _, label := range sortedKeys(counts) {
+		p := float64(counts[label]) / n
 		g -= p * p
 	}
 	return g
@@ -289,7 +306,8 @@ func rank(obs []*Observation, allowed map[string]bool) []candidate {
 		}
 	}
 	out := make([]candidate, 0, len(sums))
-	for _, c := range sums {
+	for _, s := range sortedKeys(sums) {
+		c := sums[s]
 		c.meanSlowdown /= float64(c.support)
 		out = append(out, *c)
 	}

@@ -115,10 +115,54 @@ func addScore[K comparable](tables map[K]scoreTable, k K, strategy string, v flo
 
 func (t scoreTable) means() map[string]float64 {
 	out := make(map[string]float64, len(t))
+	//graphlint:unordered map→map transform; every consumer iterates the result via sorted keys
 	for s, a := range t {
 		out[s] = a.mean()
 	}
 	return out
+}
+
+// sortedGroupKeys returns m's keys ordered by every field: observation
+// extraction iterates groups in this order so the fitted model (and any
+// extraction error) is a pure function of the report.
+func sortedGroupKeys(m map[groupKey]scoreTable) []groupKey {
+	keys := make([]groupKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys
+}
+
+func sortedIngressKeys(m map[ingressKey]scoreTable) []ingressKey {
+	keys := make([]ingressKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		ga := groupKey{a.engine, a.dataset, "", "", a.cluster, a.parts}
+		gb := groupKey{b.engine, b.dataset, "", "", b.cluster, b.parts}
+		return ga.less(gb)
+	})
+	return keys
+}
+
+// less is a total order over group keys (field-lexicographic).
+func (a groupKey) less(b groupKey) bool {
+	switch {
+	case a.engine != b.engine:
+		return a.engine < b.engine
+	case a.dataset != b.dataset:
+		return a.dataset < b.dataset
+	case a.app != b.app:
+		return a.app < b.app
+	case a.variant != b.variant:
+		return a.variant < b.variant
+	case a.cluster != b.cluster:
+		return a.cluster < b.cluster
+	}
+	return a.parts < b.parts
 }
 
 // machinesOf recovers the machine count from a cluster label ("EC2-25",
@@ -188,7 +232,7 @@ func observations(rep *report.Report, mans map[string]datasets.Manifest) (obs []
 
 	// Synthesize totals from compute + matching ingress where no measured
 	// total exists: end-to-end = load + run, the quantity the trees rank.
-	for gk, comp := range compute {
+	for _, gk := range sortedGroupKeys(compute) {
 		if _, have := totals[gk]; have {
 			continue
 		}
@@ -196,9 +240,10 @@ func observations(rep *report.Report, mans map[string]datasets.Manifest) (obs []
 		if ing == nil {
 			continue
 		}
-		for strat, ca := range comp {
+		comp := compute[gk]
+		for _, strat := range sortedKeys(comp) {
 			if ia := ing[strat]; ia != nil {
-				addScore(totals, gk, strat, ca.mean()+ia.mean())
+				addScore(totals, gk, strat, comp[strat].mean()+ia.mean())
 			}
 		}
 	}
@@ -233,15 +278,17 @@ func observations(rep *report.Report, mans map[string]datasets.Manifest) (obs []
 	// Measured (or synthesized) end-to-end totals. The ratio is recovered
 	// from matching ingress cells when they exist, from an "iters=N"
 	// variant otherwise, defaulting to break-even.
-	for gk, t := range totals {
-		scores := t.means()
+	for _, gk := range sortedGroupKeys(totals) {
+		scores := totals[gk].means()
 		ratio := 1.0
 		if ing := ingress[ingressKey{gk.engine, gk.dataset, gk.cluster, gk.parts}]; ing != nil {
 			var sum float64
 			var n int
-			for strat, total := range scores {
+			// Sorted so the float accumulation order — and hence the
+			// last-ulp value of the ratio — is a pure function of the data.
+			for _, strat := range sortedKeys(scores) {
 				if ia := ing[strat]; ia != nil && ia.mean() > 0 {
-					r := total/ia.mean() - 1
+					r := scores[strat]/ia.mean() - 1
 					if r < 0 {
 						r = 0
 					}
@@ -261,27 +308,27 @@ func observations(rep *report.Report, mans map[string]datasets.Manifest) (obs []
 	}
 
 	// Compute-only groups with no ingress to pair with: long-job proxies.
-	for gk, t := range compute {
+	for _, gk := range sortedGroupKeys(compute) {
 		if _, have := totals[gk]; have {
 			continue
 		}
-		if err := build(gk, KindCompute, longJobRatio, t.means()); err != nil {
+		if err := build(gk, KindCompute, longJobRatio, compute[gk].means()); err != nil {
 			return nil, 0, err
 		}
 	}
 
 	// Ingress sweeps: short-job proxies (the job is the load).
-	for ik, t := range ingress {
+	for _, ik := range sortedIngressKeys(ingress) {
 		gk := groupKey{ik.engine, ik.dataset, "", "", ik.cluster, ik.parts}
-		if err := build(gk, KindIngress, shortJobRatio, t.means()); err != nil {
+		if err := build(gk, KindIngress, shortJobRatio, ingress[ik].means()); err != nil {
 			return nil, 0, err
 		}
 	}
 
 	// Replication-factor sweeps: long-job network proxies.
-	for ik, t := range replication {
+	for _, ik := range sortedIngressKeys(replication) {
 		gk := groupKey{ik.engine, ik.dataset, "", "", ik.cluster, ik.parts}
-		if err := build(gk, KindReplication, longJobRatio, t.means()); err != nil {
+		if err := build(gk, KindReplication, longJobRatio, replication[ik].means()); err != nil {
 			return nil, 0, err
 		}
 	}

@@ -1,0 +1,36 @@
+// Package engine (fixture) exercises nondet rule 1: engine is not a
+// sanctioned timing package, so wall-clock, global-rand, and core-count
+// reads are flagged unless waived with a proof.
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+func badWallClock() time.Time {
+	return time.Now() // want `time.Now in deterministic package engine`
+}
+
+func badElapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time.Since in deterministic package engine`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want `rand.Intn in deterministic package engine`
+}
+
+func badCoreCount() int {
+	return runtime.NumCPU() // want `runtime.NumCPU in deterministic package engine`
+}
+
+func goodSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // deterministic by construction
+	return r.Intn(10)
+}
+
+func goodWaivedWorkers() int {
+	//graphlint:nondet worker-pool default only; results are worker-count-independent (determinism test)
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,25 @@
+package partition
+
+// Hash is a correctly-shaped stateless strategy: registered in this file's
+// init, exactly one ingress capability.
+type Hash struct{}
+
+func (Hash) Name() string                             { return "hash" }
+func (Hash) Partition(numParts int) []int32           { return nil }
+func (Hash) NewAssigner(numParts int) func(int) int32 { return nil }
+
+// Greedy is a correctly-shaped streaming strategy that also carries native
+// incremental state — the one combination IncrementalStrategy is legal in.
+type Greedy struct{ state []int32 }
+
+func (*Greedy) Name() string                   { return "greedy" }
+func (*Greedy) Partition(numParts int) []int32 { return nil }
+func (*Greedy) NewLoader(id int) func(int) int32 {
+	return nil
+}
+func (*Greedy) Apply(delta int) {}
+
+func init() {
+	Register("hash", func() Strategy { return Hash{} })
+	Register("greedy", func() Strategy { return &Greedy{} })
+}

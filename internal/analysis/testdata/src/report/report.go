@@ -1,0 +1,10 @@
+// Package report (fixture) supplies the Cell shape the nondet analyzer's
+// rule 2 recognizes: a measurement cell whose Value the regression gates
+// diff byte-for-byte.
+package report
+
+// Cell is one measured value.
+type Cell struct {
+	Metric string
+	Value  float64
+}

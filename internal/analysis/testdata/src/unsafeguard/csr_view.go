@@ -1,0 +1,24 @@
+// Package graph (fixture): csr_view.go is inside the unsafeguard allowlist,
+// so unsafe is importable here — but each use still needs an invariant
+// comment. The want expectations use line offsets because any comment
+// adjacent to a use would itself count as the invariant comment.
+package graph
+
+import "unsafe"
+
+// pointerOf documents its aliasing: the slice is non-empty and the caller
+// pins the backing array for the pointer's lifetime.
+func pointerOf(b []byte) unsafe.Pointer {
+	return unsafe.Pointer(&b[0])
+}
+
+func inlineDocumented(b []byte) uintptr {
+	// Invariant: b is non-empty and pinned by the caller for the duration.
+	return uintptr(unsafe.Pointer(&b[0]))
+}
+
+func undocumented(b []byte) uintptr {
+	p := uintptr(unsafe.Pointer(&b[0]))
+
+	return p // want:-2 `unsafe.Pointer without an invariant comment`
+}

@@ -1,0 +1,7 @@
+package graph
+
+import "unsafe"
+
+// sizeOfEdge is allowed here: mmap*.go is in the allowlist and the
+// declaration carries this doc comment as its invariant.
+var sizeOfEdge = unsafe.Sizeof(int64(0))

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Unsafeguard confines pointer aliasing to the mmap layer. The zero-copy
+// load path reinterprets mapped bytes as []Edge / []uint32 slices, which is
+// sound only under the invariants csr_view.go states (little-endian host,
+// 8-aligned payload, pinned mapping); anywhere else, unsafe is a liability
+// with no measured win. Two rules:
+//
+//   - the unsafe package and reflect.SliceHeader/StringHeader aliasing may
+//     appear only in internal/graph's mmap*.go and csr_view.go;
+//   - inside those files, every use must be covered by an invariant
+//     comment — a doc comment on the enclosing declaration or a comment on
+//     the preceding line — so each aliasing site states why it is sound.
+var Unsafeguard = &Analyzer{
+	Name: "unsafeguard",
+	Doc:  "confine unsafe/reflect-header aliasing to the documented mmap layer",
+	Run:  runUnsafeguard,
+}
+
+// unsafeAllowedFile reports whether the file may use unsafe: the mmap layer
+// of the graph package.
+func unsafeAllowedFile(pkgName, filename string) bool {
+	if pkgName != "graph" {
+		return false
+	}
+	base := filepath.Base(filename)
+	if base == "csr_view.go" {
+		return true
+	}
+	return strings.HasPrefix(base, "mmap") && strings.HasSuffix(base, ".go")
+}
+
+func runUnsafeguard(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		filename := pass.Fset.Position(f.Pos()).Filename
+		allowed := unsafeAllowedFile(pass.Pkg.Name(), filename)
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "unsafe" && !allowed {
+				pass.Reportf(imp.Pos(),
+					"import of unsafe outside the mmap layer: aliasing is confined to internal/graph/mmap*.go and csr_view.go")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			use := unsafeUseName(pass, sel)
+			if use == "" {
+				return true
+			}
+			if !allowed {
+				pass.Reportf(sel.Pos(),
+					"%s outside the mmap layer: aliasing is confined to internal/graph/mmap*.go and csr_view.go", use)
+				return true
+			}
+			if !hasInvariantComment(pass, f, sel) {
+				pass.Reportf(sel.Pos(),
+					"%s without an invariant comment: state why this aliasing is sound on the enclosing declaration or the preceding line", use)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unsafeUseName classifies a selector as an unsafe-package use or a
+// reflect header type, returning a diagnostic label or "".
+func unsafeUseName(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	switch pkgName.Imported().Path() {
+	case "unsafe":
+		return "unsafe." + sel.Sel.Name
+	case "reflect":
+		if sel.Sel.Name == "SliceHeader" || sel.Sel.Name == "StringHeader" {
+			return "reflect." + sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+// hasInvariantComment reports whether the use is covered by documentation:
+// a comment on the line before the use (or its enclosing statement), or a
+// doc comment on the enclosing top-level declaration.
+func hasInvariantComment(pass *Pass, f *ast.File, n ast.Node) bool {
+	p := pass // any comment suffices; the content is reviewed by humans
+	if p.Waived(f, n, "") {
+		return true
+	}
+	if stmtWaived(p, f, n, "") {
+		return true
+	}
+	for _, decl := range f.Decls {
+		if decl.Pos() <= n.Pos() && n.End() <= decl.End() {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				return d.Doc != nil
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					return true
+				}
+				for _, spec := range d.Specs {
+					if spec.Pos() <= n.Pos() && n.End() <= spec.End() {
+						switch s := spec.(type) {
+						case *ast.ValueSpec:
+							return s.Doc != nil || s.Comment != nil
+						case *ast.TypeSpec:
+							return s.Doc != nil || s.Comment != nil
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -235,6 +235,7 @@ func advRegret() Experiment {
 					return nil, err
 				}
 				best, bestT := "", -1.0
+				//graphlint:unordered argmin with a total tie-break on name — order-independent
 				for strat, tt := range totals[c] {
 					if bestT < 0 || tt < bestT || (tt == bestT && strat < best) {
 						best, bestT = strat, tt

@@ -462,3 +462,15 @@ func loadGraph(cfg Config, name string) (*graph.Graph, error) {
 // f2, f3 format floats compactly for table cells.
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
 func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// sortedKeys returns m's keys in ascending order: map iteration order is
+// deliberately randomized by the runtime, so every loop that feeds report
+// cells, notes, or float accumulations iterates via this helper instead.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

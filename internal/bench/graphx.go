@@ -100,7 +100,8 @@ func fig71() Experiment {
 			}
 			// All native strategies partition at similar speed (§7.4).
 			pass := true
-			for ds, times := range partTimes {
+			for _, ds := range sortedKeys(partTimes) {
+				times := partTimes[ds]
 				lo, hi := times[0], times[0]
 				for _, v := range times {
 					if v < lo {
@@ -133,7 +134,12 @@ func rankingRow(times map[string]float64) string {
 	for n, s := range times {
 		list = append(list, st{n, s})
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i].sec < list[j].sec })
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].sec != list[j].sec {
+			return list[i].sec < list[j].sec
+		}
+		return list[i].name < list[j].name // tie-break: map order must not leak
+	})
 	short := map[string]string{"1D": "1D", "2D": "2D", "CanonicalRandom": "CR", "AsymRandom": "R"}
 	out := ""
 	for i := 0; i < len(list); {
@@ -188,9 +194,11 @@ func tab71() Experiment {
 						// measurements go out as cells.
 						r.Cell(gxDims(cc, ds, strat, appName), "compute-s", st.ComputeSeconds, "s")
 					}
+					// Sorted iteration makes the argmin's tie-break (first
+					// name in ascending order) deterministic.
 					best, bestT := "", -1.0
-					for n, s := range times {
-						if bestT < 0 || s < bestT {
+					for _, n := range sortedKeys(times) {
+						if s := times[n]; bestT < 0 || s < bestT {
 							best, bestT = n, s
 						}
 					}

@@ -400,6 +400,7 @@ func clusterName(cc cluster.Config) string {
 // strategies for an app (the paper's "up to 1.9× overall slowdown").
 func slowdownRatio(totals map[string]float64) float64 {
 	lo, hi := math.Inf(1), math.Inf(-1)
+	//graphlint:unordered min/max reduction — commutative, order-independent
 	for _, v := range totals {
 		lo = math.Min(lo, v)
 		hi = math.Max(hi, v)

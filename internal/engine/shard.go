@@ -35,6 +35,7 @@ const (
 // ≤0 means GOMAXPROCS.
 func ResolveWorkers(w int) int {
 	if w <= 0 {
+		//graphlint:nondet worker-count default only; results are worker-count-independent (TestShardedDeterminism)
 		return runtime.GOMAXPROCS(0)
 	}
 	return w

@@ -205,6 +205,7 @@ func decodeCSRv2(src string, data []byte, off int, h csrHeader, o CSRLoadOptions
 	edges := make([]Edge, m)
 	workers := o.Workers
 	if workers <= 0 {
+		//graphlint:nondet worker-count default only; output is worker-count-independent (csr_v2_test.go)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(blocks) {
@@ -263,6 +264,7 @@ func decodeCSRv2(src string, data []byte, off int, h csrHeader, o CSRLoadOptions
 // round of workers; fn sees batches in stream order from this goroutine.
 func streamCSRv2(name string, br *bufio.Reader, h csrHeader, batchSize, workers int, fn func(offset int64, edges []Edge) error) (int64, VertexID, error) {
 	if workers <= 0 {
+		//graphlint:nondet worker-count default only; output is worker-count-independent (csr_v2_test.go)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	var quad [4]byte

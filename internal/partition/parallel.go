@@ -28,6 +28,7 @@ import (
 // strategies).
 func ParallelPartition(g *graph.Graph, s Strategy, numParts int, seed uint64, workers int) (*Assignment, error) {
 	if workers <= 0 {
+		//graphlint:nondet worker-count default only; placement is worker-count-independent (parallel_test.go)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if numParts < 1 {
@@ -50,7 +51,7 @@ func ParallelPartition(g *graph.Graph, s Strategy, numParts int, seed uint64, wo
 		return nil, fmt.Errorf("partition: strategy %s returned %d assignments for %d edges",
 			s.Name(), len(res.EdgeParts), g.NumEdges())
 	}
-	return newAssignment(g, s, numParts, seed, res, workers)
+	return newAssignment(g, s.Name(), s.Passes(), numParts, seed, res, workers)
 }
 
 // statelessParallel shards the edge list across workers, each assigning

@@ -109,19 +109,21 @@ func Partition(g *graph.Graph, s Strategy, numParts int, seed uint64) (*Assignme
 		return nil, fmt.Errorf("partition: strategy %s returned %d assignments for %d edges",
 			s.Name(), len(res.EdgeParts), g.NumEdges())
 	}
-	return newAssignment(g, s, numParts, seed, res, 1)
+	return newAssignment(g, s.Name(), s.Passes(), numParts, seed, res, 1)
 }
 
 // newAssignment materializes a strategy result into an Assignment using the
 // given number of workers (≤1 means serial). Worker count never changes the
-// result, only wall-clock.
-func newAssignment(g *graph.Graph, s Strategy, numParts int, seed uint64, res *Result, workers int) (*Assignment, error) {
+// result, only wall-clock. The strategy is identified by name and pass
+// count rather than interface so deserialized assignments (whose strategy
+// no longer exists as code) rebuild through the same validated path.
+func newAssignment(g *graph.Graph, name string, passes, numParts int, seed uint64, res *Result, workers int) (*Assignment, error) {
 	n := g.NumVertices()
 	a := &Assignment{
 		G:            g,
 		NumParts:     numParts,
-		Strategy:     s.Name(),
-		Passes:       s.Passes(),
+		Strategy:     name,
+		Passes:       passes,
 		EdgeParts:    res.EdgeParts,
 		q:            metrics.NewQuality(numParts),
 		replicas:     newBitMatrix(n, numParts),

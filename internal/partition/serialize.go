@@ -96,8 +96,7 @@ func ReadAssignment(g *graph.Graph, r io.Reader) (*Assignment, error) {
 	}
 
 	// Rebuild through the standard constructor for full validation.
-	stub := savedStrategy{name: string(name), passes: int(passes)}
-	a, err := newAssignment(g, stub, int(numParts), 0, &Result{EdgeParts: edgeParts, MasterHint: masters}, 1)
+	a, err := newAssignment(g, string(name), int(passes), int(numParts), 0, &Result{EdgeParts: edgeParts, MasterHint: masters}, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -125,17 +124,4 @@ func LoadFile(g *graph.Graph, path string) (*Assignment, error) {
 	}
 	defer f.Close()
 	return ReadAssignment(g, f)
-}
-
-// savedStrategy is the placeholder Strategy identity of a deserialized
-// assignment.
-type savedStrategy struct {
-	name   string
-	passes int
-}
-
-func (s savedStrategy) Name() string { return s.name }
-func (s savedStrategy) Passes() int  { return s.passes }
-func (s savedStrategy) Partition(*graph.Graph, int, uint64) (*Result, error) {
-	return nil, fmt.Errorf("partition: %s was loaded from disk and cannot re-partition", s.name)
 }

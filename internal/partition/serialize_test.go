@@ -84,7 +84,7 @@ func TestReadAssignmentValidation(t *testing.T) {
 	}
 }
 
-func TestSavedStrategyCannotRepartition(t *testing.T) {
+func TestLoadedAssignmentKeepsStrategyIdentity(t *testing.T) {
 	g := gen.RoadNet("ser-x", 10, 10, 1)
 	a, _ := Partition(g, Random{}, 4, 1)
 	var buf bytes.Buffer
@@ -95,8 +95,13 @@ func TestSavedStrategyCannotRepartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := savedStrategy{name: got.Strategy, passes: got.Passes}
-	if _, err := s.Partition(g, 4, 1); err == nil {
-		t.Error("saved strategy re-partitioned")
+	// A deserialized assignment carries the writer's strategy identity
+	// without any Strategy implementation behind it: there is no
+	// registered (or registrable) type to re-partition with.
+	if got.Strategy != a.Strategy || got.Passes != a.Passes {
+		t.Errorf("identity drifted: got %s/%d, want %s/%d", got.Strategy, got.Passes, a.Strategy, a.Passes)
+	}
+	if _, err := New(got.Strategy, Options{}); err != nil {
+		t.Fatalf("writer strategy %s should still construct: %v", got.Strategy, err)
 	}
 }

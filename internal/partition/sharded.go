@@ -56,6 +56,7 @@ func NewShardedStreamBuilder(strat Strategy, numParts, workers int, seed uint64)
 		}
 	}
 	if workers <= 0 {
+		//graphlint:nondet worker-count default only; placement is worker-count-independent (sharded_test.go)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	sb := &ShardedStreamBuilder{

@@ -50,6 +50,7 @@ func ParseFilter(s string) (Filter, error) {
 // matches everything. Name-like keys match by case-insensitive substring;
 // "parts" is numeric and compares exactly (parts=2 must not select 25).
 func (f Filter) Match(c Cell) bool {
+	//graphlint:unordered pure conjunction over all entries — order-independent
 	for key, wants := range f {
 		var have string
 		if key == "metric" {
