@@ -135,12 +135,15 @@ var detrangeCritical = map[string]bool{
 
 // nondetSanctioned are the packages allowed to read wall-clock time and
 // core counts at all: the experiment harness (bench) and the cost model's
-// scheduler (cluster) are where measurement happens by design. Everything
-// else internal must stay a pure function of its inputs. The analyzer
-// suite itself and main packages (CLIs print timings legitimately) are
-// also out of scope.
+// scheduler (cluster) are where measurement happens by design, and the
+// service layer (service) measures request latency/uptime for its metrics
+// endpoint — observability, not result computation. Everything else
+// internal must stay a pure function of its inputs. The analyzer suite
+// itself and main packages (CLIs print timings legitimately) are also out
+// of scope.
 var nondetSanctioned = map[string]bool{
 	"bench": true, "cluster": true, "analysis": true, "main": true,
+	"service": true,
 }
 
 // isTestFile reports whether the file sits in _test.go. The determinism

@@ -319,9 +319,23 @@ func loadOrBuild(e entry, name string, scale int) (*graph.Graph, error) {
 // writeCache persists g as .csrg via temp-file + rename, so concurrent
 // processes never observe a torn cache entry. Failures are non-fatal: the
 // cache is an optimization, not a dependency.
+//
+// Writers additionally serialize on an advisory flock beside the target:
+// rename is atomic per write, but two processes building the same dataset
+// would otherwise both write multi-MB temp files and rename over each
+// other — wasted IO, and on filesystems without atomic rename-over, a
+// reader-visible race. With the lock held the entry is revalidated first,
+// so the losing writer skips its redundant write entirely.
 func writeCache(dir, name string, scale int, g *graph.Graph) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return
+	}
+	target := CachePath(dir, name, scale)
+	if unlock, err := lockFile(target + ".lock"); err == nil {
+		defer unlock()
+		if cached, err := graph.LoadCSR(target); err == nil && cached.Name == name {
+			return // a concurrent writer already landed this entry
+		}
 	}
 	tmp, err := os.CreateTemp(dir, sanitize(name)+".tmp-*")
 	if err != nil {

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package datasets
+
+// lockFile is a no-op where flock is unavailable: writers fall back to
+// plain tmp+rename, which keeps individual writes atomic (readers never
+// see a torn file) but lets concurrent writers do redundant work.
+func lockFile(path string) (func(), error) { return func() {}, nil }

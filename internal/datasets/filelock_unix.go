@@ -1,0 +1,31 @@
+//go:build unix
+
+package datasets
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory flock on path (creating it when
+// missing) and returns the unlock. The lock file itself is never removed:
+// unlinking a path other processes may be about to lock reintroduces the
+// race the lock exists to close (two processes can then hold "the" lock
+// on different inodes). A stray zero-byte .lock beside a cache entry is
+// the cost of correctness here.
+func lockFile(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		// Close releases the flock; the explicit unlock keeps the window
+		// tight when the caller holds the returned func past other work.
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN) //nolint:errcheck
+		f.Close()
+	}, nil
+}

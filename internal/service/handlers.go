@@ -1,0 +1,552 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"graphpart/internal/advisor"
+	"graphpart/internal/datasets"
+	"graphpart/internal/decision"
+	"graphpart/internal/graph"
+	"graphpart/internal/partition"
+	"graphpart/internal/report"
+)
+
+// ErrNoModel answers advisor queries before any report has been fitted.
+var ErrNoModel = errors.New("service: no advisor model fitted; POST a benchrunner report to /v1/advisor/fit")
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+func (s *Server) errorf(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+// routes mounts every endpoint. Method checks happen inside the handler
+// (not in the mux pattern) so 405 responses carry the same JSON error
+// envelope as every other failure.
+func (s *Server) routes() {
+	s.handle("/v1/healthz", "healthz", s.handleHealthz, http.MethodGet)
+	s.handle("/v1/datasets", "datasets", s.handleDatasets, http.MethodGet)
+	s.handle("/v1/datasets/{name}", "dataset-manifest", s.handleManifest, http.MethodGet)
+	s.handle("/v1/assignment/{dataset}/{strategy}", "assignment", s.handleAssignment, http.MethodGet)
+	s.handle("/v1/jobs", "jobs", s.handleJobs, http.MethodGet, http.MethodPost)
+	s.handle("/v1/jobs/{id}", "job-status", s.handleJobStatus, http.MethodGet)
+	s.handle("/v1/churn", "churn", s.handleChurn, http.MethodGet, http.MethodPost)
+	s.handle("/v1/advisor/fit", "advisor-fit", s.handleAdvisorFit, http.MethodPost)
+	s.handle("/v1/advise", "advise", s.handleAdvise, http.MethodGet)
+	s.handle("/v1/metrics", "metrics", s.handleMetrics, http.MethodGet)
+}
+
+// handle wires one path: method filtering, then the instrumented handler.
+func (s *Server) handle(pattern, op string, h http.HandlerFunc, methods ...string) {
+	wrapped := s.instrument(op, h)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range methods {
+			if r.Method == m {
+				wrapped(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", strings.Join(methods, ", "))
+		// Not instrumented on purpose: a method probe is not endpoint
+		// traffic, and instrument would need the op before the check.
+		s.errorf(w, http.StatusMethodNotAllowed, "service: %s does not allow %s (allow: %s)",
+			r.URL.Path, r.Method, strings.Join(methods, ", "))
+	})
+}
+
+// decodeBody decodes a JSON request body bounded at MaxBody, writing the
+// appropriate error (413 oversized, 400 malformed) itself. Returns false
+// when the response is already written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.errorf(w, http.StatusRequestEntityTooLarge, "service: request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		s.errorf(w, http.StatusBadRequest, "service: malformed JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("service: query param %s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+// checkParts validates a requested partition count.
+func (s *Server) checkParts(w http.ResponseWriter, parts int) bool {
+	if parts < 1 || parts > maxParts {
+		s.errorf(w, http.StatusBadRequest, "service: parts must be in [1, %d], got %d", maxParts, parts)
+		return false
+	}
+	return true
+}
+
+// checkDataset 404s unknown dataset names.
+func (s *Server) checkDataset(w http.ResponseWriter, name string) bool {
+	if _, err := datasets.Describe(name); err != nil {
+		s.errorf(w, http.StatusNotFound, "%v", err)
+		return false
+	}
+	return true
+}
+
+// checkStrategy 404s unknown strategy names.
+func (s *Server) checkStrategy(w http.ResponseWriter, name string) bool {
+	if _, err := partition.New(name, partition.Options{}); err != nil {
+		s.errorf(w, http.StatusNotFound, "%v", err)
+		return false
+	}
+	return true
+}
+
+// --- health + datasets --------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"datasets": len(datasets.Names()),
+		"scale":    s.cfg.scale(),
+	})
+}
+
+// datasetInfo is one row of GET /v1/datasets.
+type datasetInfo struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Class      string `json:"class"`
+	Provenance string `json:"provenance,omitempty"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	names := datasets.Names()
+	out := make([]datasetInfo, 0, len(names))
+	for _, n := range names {
+		info, err := datasets.Describe(n)
+		if err != nil {
+			continue // unregistered between Names and Describe; skip
+		}
+		out = append(out, datasetInfo{
+			Name: info.Name, Kind: string(info.Kind),
+			Class: info.Class.String(), Provenance: info.Provenance,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.checkDataset(w, name) {
+		return
+	}
+	m, err := withinTimeout(r.Context(), func() (datasets.Manifest, error) {
+		return s.manifest(name)
+	})
+	if err != nil {
+		s.respondError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// --- assignment ---------------------------------------------------------
+
+// vertexLookup is the per-vertex part of an assignment response.
+type vertexLookup struct {
+	ID       uint32 `json:"id"`
+	Master   int    `json:"master"`
+	Replicas int    `json:"replicas"`
+}
+
+// assignmentResponse summarizes a cached partitioning, with an optional
+// vertex lookup.
+type assignmentResponse struct {
+	Dataset           string        `json:"dataset"`
+	Strategy          string        `json:"strategy"`
+	Parts             int           `json:"parts"`
+	Edges             int64         `json:"edges"`
+	Vertices          int           `json:"vertices"`
+	ReplicationFactor float64       `json:"replicationFactor"`
+	EdgeBalance       float64       `json:"edgeBalance"`
+	Vertex            *vertexLookup `json:"vertex,omitempty"`
+}
+
+func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	ds, strat := r.PathValue("dataset"), r.PathValue("strategy")
+	if !s.checkDataset(w, ds) || !s.checkStrategy(w, strat) {
+		return
+	}
+	parts, err := queryInt(r, "parts", s.cfg.defaultParts())
+	if err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.checkParts(w, parts) {
+		return
+	}
+	a, err := s.assignment(r.Context(), ds, strat, parts)
+	if err != nil {
+		s.respondError(w, err)
+		return
+	}
+	resp := assignmentResponse{
+		Dataset: ds, Strategy: strat, Parts: parts,
+		Edges:             int64(a.G.NumEdges()),
+		Vertices:          a.G.NumVertices(),
+		ReplicationFactor: a.ReplicationFactor(),
+		EdgeBalance:       a.EdgeBalance(),
+	}
+	if vq := r.URL.Query().Get("vertex"); vq != "" {
+		v64, err := strconv.ParseUint(vq, 10, 32)
+		if err != nil {
+			s.errorf(w, http.StatusBadRequest, "service: query param vertex=%q is not a vertex id", vq)
+			return
+		}
+		v := graph.VertexID(v64)
+		if int(v) >= a.G.NumVertices() {
+			s.errorf(w, http.StatusNotFound, "service: vertex %d outside %s (%d vertices)", v, ds, a.G.NumVertices())
+			return
+		}
+		resp.Vertex = &vertexLookup{ID: v, Master: a.Master(v), Replicas: a.Replicas(v)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// respondError maps computation errors to status codes: deadline → 504,
+// everything else → 500.
+func (s *Server) respondError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.errorf(w, http.StatusGatewayTimeout, "%v", err)
+		return
+	}
+	s.errorf(w, http.StatusInternalServerError, "%v", err)
+}
+
+// --- jobs ---------------------------------------------------------------
+
+// jobRequest is the POST /v1/jobs body.
+type jobRequest struct {
+	Dataset  string `json:"dataset"`
+	Strategy string `json:"strategy"`
+	Parts    int    `json:"parts"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+		return
+	}
+	var req jobRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Parts == 0 {
+		req.Parts = s.cfg.defaultParts()
+	}
+	if !s.checkDataset(w, req.Dataset) || !s.checkStrategy(w, req.Strategy) || !s.checkParts(w, req.Parts) {
+		return
+	}
+	j, err := s.jobs.submit(req.Dataset, req.Strategy, req.Parts)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.errorf(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		s.errorf(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		s.respondError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		s.errorf(w, http.StatusNotFound, "service: unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// --- churn --------------------------------------------------------------
+
+// churnRequest is the POST /v1/churn body: one batch of edge additions
+// and deletions for a named live stream. Edges are [src, dst] pairs.
+type churnRequest struct {
+	Stream   string      `json:"stream"`
+	Strategy string      `json:"strategy"`
+	Parts    int         `json:"parts"`
+	Adds     [][2]uint32 `json:"adds"`
+	Dels     [][2]uint32 `json:"dels"`
+}
+
+// churnResponse reports the batch outcome and the stream's live quality.
+type churnResponse struct {
+	Stream            string  `json:"stream"`
+	Strategy          string  `json:"strategy"`
+	Parts             int     `json:"parts"`
+	Added             int     `json:"added"`
+	Deleted           int     `json:"deleted"`
+	Rebuilt           bool    `json:"rebuilt"`
+	LiveEdges         int64   `json:"liveEdges"`
+	Vertices          int     `json:"vertices"`
+	ReplicationFactor float64 `json:"replicationFactor"`
+	EdgeBalance       float64 `json:"edgeBalance"`
+	Incremental       bool    `json:"incremental"`
+}
+
+func edgesOf(pairs [][2]uint32) []graph.Edge {
+	out := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = graph.Edge{Src: p[0], Dst: p[1]}
+	}
+	return out
+}
+
+func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		s.handleChurnState(w, r)
+		return
+	}
+	var req churnRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Stream == "" {
+		req.Stream = "default"
+	}
+	if req.Parts == 0 {
+		req.Parts = s.cfg.defaultParts()
+	}
+	if !s.checkStrategy(w, req.Strategy) || !s.checkParts(w, req.Parts) {
+		return
+	}
+	ls, err := s.state(req.Stream, req.Strategy, req.Parts)
+	if err != nil {
+		s.respondError(w, err)
+		return
+	}
+	ls.mu.Lock()
+	stats, err := ls.st.ApplyBatch(edgesOf(req.Adds), edgesOf(req.Dels))
+	resp := churnResponse{
+		Stream: req.Stream, Strategy: req.Strategy, Parts: req.Parts,
+		Added: stats.Added, Deleted: stats.Deleted, Rebuilt: stats.Rebuilt,
+		LiveEdges: ls.st.NumEdges(), Vertices: ls.st.NumVertices(),
+		ReplicationFactor: ls.st.ReplicationFactor(),
+		EdgeBalance:       ls.st.EdgeBalance(),
+		Incremental:       ls.st.Incremental(),
+	}
+	ls.mu.Unlock()
+	if err != nil {
+		// A delete of a non-live edge aborts the batch mid-way; the state
+		// keeps the prefix that applied. 409 tells the client its view of
+		// the stream diverged from the server's.
+		s.errorf(w, http.StatusConflict, "service: churn batch aborted: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleChurnState answers GET /v1/churn?stream=&strategy=&parts= with
+// the live quality summary of an existing stream.
+func (s *Server) handleChurnState(w http.ResponseWriter, r *http.Request) {
+	stream := r.URL.Query().Get("stream")
+	if stream == "" {
+		stream = "default"
+	}
+	strat := r.URL.Query().Get("strategy")
+	if !s.checkStrategy(w, strat) {
+		return
+	}
+	parts, err := queryInt(r, "parts", s.cfg.defaultParts())
+	if err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.checkParts(w, parts) {
+		return
+	}
+	ls, ok := s.lookupState(stream, strat, parts)
+	if !ok {
+		s.errorf(w, http.StatusNotFound, "service: no live stream %q for %s/%d", stream, strat, parts)
+		return
+	}
+	ls.mu.Lock()
+	resp := churnResponse{
+		Stream: stream, Strategy: strat, Parts: parts,
+		LiveEdges: ls.st.NumEdges(), Vertices: ls.st.NumVertices(),
+		ReplicationFactor: ls.st.ReplicationFactor(),
+		EdgeBalance:       ls.st.EdgeBalance(),
+		Incremental:       ls.st.Incremental(),
+	}
+	ls.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- advisor ------------------------------------------------------------
+
+// fitResponse summarizes a model fitted from an uploaded report.
+type fitResponse struct {
+	Engines      []string `json:"engines"`
+	Observations int      `json:"observations"`
+	Skipped      int      `json:"skipped"`
+	Manifests    int      `json:"manifests"`
+}
+
+func (s *Server) handleAdvisorFit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	rep, err := report.Decode(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.errorf(w, http.StatusRequestEntityTooLarge, "service: request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.errorf(w, http.StatusBadRequest, "service: report body: %v", err)
+		return
+	}
+	resp, err := withinTimeout(r.Context(), func() (fitResponse, error) {
+		return s.refit(rep)
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.respondError(w, err)
+		} else {
+			s.errorf(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// refit builds manifests for the registered datasets the report measures
+// and swaps in a freshly fitted model.
+func (s *Server) refit(rep *report.Report) (fitResponse, error) {
+	seen := map[string]bool{}
+	var mans []datasets.Manifest
+	for _, e := range rep.Experiments {
+		for _, c := range e.Cells {
+			name := c.Dims.Dataset
+			if name == "" || seen[name] {
+				continue
+			}
+			seen[name] = true
+			if _, err := datasets.Describe(name); err != nil {
+				continue // unregistered dataset: no manifest, advisor skips it
+			}
+			m, err := s.manifest(name)
+			if err != nil {
+				return fitResponse{}, err
+			}
+			mans = append(mans, m)
+		}
+	}
+	model, err := advisor.Fit(rep, mans)
+	if err != nil {
+		return fitResponse{}, err
+	}
+	s.advMu.Lock()
+	s.model = model
+	s.advMu.Unlock()
+	resp := fitResponse{Engines: model.Engines(), Skipped: model.Skipped, Manifests: len(mans)}
+	for _, e := range resp.Engines {
+		resp.Observations += len(model.Observations(e))
+	}
+	return resp, nil
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	s.advMu.RLock()
+	model := s.model
+	s.advMu.RUnlock()
+	if model == nil {
+		s.errorf(w, http.StatusConflict, "%v", ErrNoModel)
+		return
+	}
+	q := r.URL.Query()
+	ds := q.Get("dataset")
+	if ds == "" {
+		s.errorf(w, http.StatusBadRequest, "service: advise needs a dataset query param")
+		return
+	}
+	if !s.checkDataset(w, ds) {
+		return
+	}
+	sys := partition.System(q.Get("system"))
+	if sys == "" {
+		sys = partition.PowerGraph
+	}
+	machines, err := queryInt(r, "machines", s.cfg.defaultParts())
+	if err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ratio := 4.0 // long-job default: partitions are held resident here
+	if rq := q.Get("ratio"); rq != "" {
+		ratio, err = strconv.ParseFloat(rq, 64)
+		if err != nil {
+			s.errorf(w, http.StatusBadRequest, "service: query param ratio=%q is not a number", rq)
+			return
+		}
+	}
+	app := q.Get("app")
+	rec, err := withinTimeout(r.Context(), func() (decision.Recommendation, error) {
+		m, err := s.manifest(ds)
+		if err != nil {
+			return decision.Recommendation{}, err
+		}
+		wl, err := advisor.WorkloadFor(m, machines, ratio, app)
+		if err != nil {
+			return decision.Recommendation{}, err
+		}
+		return model.Recommend(sys, wl)
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.respondError(w, err)
+		} else {
+			s.errorf(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// --- metrics ------------------------------------------------------------
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"cells": s.MetricsCells()})
+}

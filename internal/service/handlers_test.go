@@ -1,0 +1,355 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphpart/internal/report"
+)
+
+// newTestServer builds a Server whose jobs drain at test end.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+// do runs one request through the handler stack without a network.
+func do(s *Server, method, path, body string) *httptest.ResponseRecorder {
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// wantError asserts the error JSON envelope: correct status code in the
+// body, application/json content type, non-empty message.
+func wantError(t *testing.T, rec *httptest.ResponseRecorder, status int) apiError {
+	t.Helper()
+	if rec.Code != status {
+		t.Fatalf("status = %d, want %d (body %s)", rec.Code, status, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var e apiError
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %v (%s)", err, rec.Body)
+	}
+	if e.Status != status {
+		t.Fatalf("body status = %d, want %d", e.Status, status)
+	}
+	if e.Error == "" {
+		t.Fatal("error envelope has empty message")
+	}
+	return e
+}
+
+func decodeBodyJSON(t *testing.T, rec *httptest.ResponseRecorder, dst any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), dst); err != nil {
+		t.Fatalf("decode response: %v (%s)", err, rec.Body)
+	}
+}
+
+// fitReportJSON is a minimal benchrunner report the advisor can fit: one
+// measurement group on road-ca with two strategies.
+func fitReportJSON() string {
+	rep := report.Report{
+		SchemaVersion: report.SchemaVersion,
+		Tool:          "handlers_test",
+		Experiments: []report.Experiment{{
+			ID: "fit.test", Title: "fit fixture",
+			Cells: []report.Cell{
+				{Dims: report.Dims{Engine: "PowerGraph", Dataset: "road-ca", Strategy: "Random", App: "PageRank", Parts: 16}, Metric: "total-s", Value: 12, Unit: "s"},
+				{Dims: report.Dims{Engine: "PowerGraph", Dataset: "road-ca", Strategy: "Grid", App: "PageRank", Parts: 16}, Metric: "total-s", Value: 9, Unit: "s"},
+				{Dims: report.Dims{Engine: "PowerGraph", Dataset: "road-ca", Strategy: "HDRF", App: "PageRank", Parts: 16}, Metric: "total-s", Value: 10, Unit: "s"},
+			},
+		}},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func TestEndpointTable(t *testing.T) {
+	srv := newTestServer(t, Config{DefaultParts: 4})
+	fitBody := fitReportJSON()
+
+	// Sequenced sub-tests: later cases depend on state earlier ones create
+	// (a churn stream, a fitted model), which is itself part of the API
+	// surface under test.
+	tests := []struct {
+		name         string
+		method, path string
+		body         string
+		status       int
+		check        func(t *testing.T, rec *httptest.ResponseRecorder)
+	}{
+		{name: "healthz ok", method: http.MethodGet, path: "/v1/healthz", status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got struct {
+					Status   string `json:"status"`
+					Datasets int    `json:"datasets"`
+				}
+				decodeBodyJSON(t, rec, &got)
+				if got.Status != "ok" || got.Datasets < 6 {
+					t.Fatalf("healthz = %+v", got)
+				}
+			}},
+		{name: "healthz method not allowed", method: http.MethodPost, path: "/v1/healthz", status: http.StatusMethodNotAllowed,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				if allow := rec.Header().Get("Allow"); allow != http.MethodGet {
+					t.Fatalf("Allow = %q, want GET", allow)
+				}
+			}},
+		{name: "datasets list", method: http.MethodGet, path: "/v1/datasets", status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got struct {
+					Datasets []datasetInfo `json:"datasets"`
+				}
+				decodeBodyJSON(t, rec, &got)
+				names := map[string]bool{}
+				for _, d := range got.Datasets {
+					names[d.Name] = true
+				}
+				if !names["road-ca"] || !names["uk-web"] {
+					t.Fatalf("dataset list missing builtins: %v", got.Datasets)
+				}
+			}},
+		{name: "manifest ok", method: http.MethodGet, path: "/v1/datasets/road-ca", status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got struct {
+					Name  string `json:"name"`
+					Edges int64  `json:"edges"`
+				}
+				decodeBodyJSON(t, rec, &got)
+				if got.Name != "road-ca" || got.Edges == 0 {
+					t.Fatalf("manifest = %+v", got)
+				}
+			}},
+		{name: "manifest unknown dataset", method: http.MethodGet, path: "/v1/datasets/no-such-graph", status: http.StatusNotFound},
+		{name: "assignment ok", method: http.MethodGet, path: "/v1/assignment/road-ca/Grid?parts=4", status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got assignmentResponse
+				decodeBodyJSON(t, rec, &got)
+				if got.Edges == 0 || got.Vertices == 0 || got.ReplicationFactor < 1 {
+					t.Fatalf("assignment = %+v", got)
+				}
+			}},
+		{name: "assignment vertex lookup", method: http.MethodGet, path: "/v1/assignment/road-ca/Grid?parts=4&vertex=7", status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got assignmentResponse
+				decodeBodyJSON(t, rec, &got)
+				if got.Vertex == nil || got.Vertex.ID != 7 || got.Vertex.Replicas < 1 {
+					t.Fatalf("vertex lookup = %+v", got.Vertex)
+				}
+				if got.Vertex.Master < 0 || got.Vertex.Master >= 4 {
+					t.Fatalf("master %d out of range", got.Vertex.Master)
+				}
+			}},
+		{name: "assignment unknown dataset", method: http.MethodGet, path: "/v1/assignment/no-such-graph/Grid", status: http.StatusNotFound},
+		{name: "assignment unknown strategy", method: http.MethodGet, path: "/v1/assignment/road-ca/NoSuchCut", status: http.StatusNotFound},
+		{name: "assignment bad parts", method: http.MethodGet, path: "/v1/assignment/road-ca/Grid?parts=0", status: http.StatusBadRequest},
+		{name: "assignment non-numeric parts", method: http.MethodGet, path: "/v1/assignment/road-ca/Grid?parts=many", status: http.StatusBadRequest},
+		{name: "assignment absurd parts", method: http.MethodGet, path: fmt.Sprintf("/v1/assignment/road-ca/Grid?parts=%d", maxParts+1), status: http.StatusBadRequest},
+		{name: "assignment bad vertex", method: http.MethodGet, path: "/v1/assignment/road-ca/Grid?parts=4&vertex=x", status: http.StatusBadRequest},
+		{name: "assignment vertex out of range", method: http.MethodGet, path: "/v1/assignment/road-ca/Grid?parts=4&vertex=4000000000", status: http.StatusNotFound},
+		{name: "assignment method not allowed", method: http.MethodDelete, path: "/v1/assignment/road-ca/Grid", status: http.StatusMethodNotAllowed},
+		{name: "churn first batch", method: http.MethodPost, path: "/v1/churn",
+			body:   `{"stream":"t1","strategy":"2D","parts":4,"adds":[[0,1],[1,2],[2,3]]}`,
+			status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got churnResponse
+				decodeBodyJSON(t, rec, &got)
+				if got.Added != 3 || got.LiveEdges != 3 {
+					t.Fatalf("churn = %+v", got)
+				}
+			}},
+		{name: "churn delete live edge", method: http.MethodPost, path: "/v1/churn",
+			body:   `{"stream":"t1","strategy":"2D","parts":4,"dels":[[0,1]]}`,
+			status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got churnResponse
+				decodeBodyJSON(t, rec, &got)
+				if got.Deleted != 1 || got.LiveEdges != 2 {
+					t.Fatalf("churn = %+v", got)
+				}
+			}},
+		{name: "churn delete non-live edge conflicts", method: http.MethodPost, path: "/v1/churn",
+			body:   `{"stream":"t1","strategy":"2D","parts":4,"dels":[[7,8]]}`,
+			status: http.StatusConflict},
+		{name: "churn state readback", method: http.MethodGet, path: "/v1/churn?stream=t1&strategy=2D&parts=4", status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got churnResponse
+				decodeBodyJSON(t, rec, &got)
+				if got.LiveEdges != 2 {
+					t.Fatalf("live edges = %d, want 2", got.LiveEdges)
+				}
+			}},
+		{name: "churn unknown stream", method: http.MethodGet, path: "/v1/churn?stream=nope&strategy=2D&parts=4", status: http.StatusNotFound},
+		{name: "churn unknown strategy", method: http.MethodPost, path: "/v1/churn",
+			body: `{"stream":"t2","strategy":"NoSuchCut","adds":[[0,1]]}`, status: http.StatusNotFound},
+		{name: "churn malformed json", method: http.MethodPost, path: "/v1/churn", body: `{"adds":`, status: http.StatusBadRequest},
+		{name: "jobs malformed json", method: http.MethodPost, path: "/v1/jobs", body: `not json`, status: http.StatusBadRequest},
+		{name: "jobs unknown dataset", method: http.MethodPost, path: "/v1/jobs",
+			body: `{"dataset":"no-such-graph","strategy":"Grid"}`, status: http.StatusNotFound},
+		{name: "jobs unknown job id", method: http.MethodGet, path: "/v1/jobs/job-999", status: http.StatusNotFound},
+		{name: "advise before fit conflicts", method: http.MethodGet, path: "/v1/advise?dataset=road-ca", status: http.StatusConflict},
+		{name: "advisor fit malformed", method: http.MethodPost, path: "/v1/advisor/fit", body: `{"schemaVersion":99}`, status: http.StatusBadRequest},
+		{name: "advisor fit ok", method: http.MethodPost, path: "/v1/advisor/fit", body: fitBody, status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got fitResponse
+				decodeBodyJSON(t, rec, &got)
+				if len(got.Engines) == 0 || got.Observations == 0 {
+					t.Fatalf("fit = %+v", got)
+				}
+			}},
+		{name: "advise ok", method: http.MethodGet,
+			path:   "/v1/advise?dataset=road-ca&system=PowerGraph&machines=16&ratio=4&app=PageRank",
+			status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got struct {
+					System   string `json:"system"`
+					Strategy string `json:"strategy"`
+				}
+				decodeBodyJSON(t, rec, &got)
+				if got.System != "PowerGraph" || got.Strategy == "" {
+					t.Fatalf("advise = %+v", got)
+				}
+			}},
+		{name: "advise missing dataset", method: http.MethodGet, path: "/v1/advise", status: http.StatusBadRequest},
+		{name: "advise unknown dataset", method: http.MethodGet, path: "/v1/advise?dataset=no-such-graph", status: http.StatusNotFound},
+		{name: "advise bad ratio", method: http.MethodGet, path: "/v1/advise?dataset=road-ca&ratio=tall", status: http.StatusBadRequest},
+		{name: "advisor fit method not allowed", method: http.MethodGet, path: "/v1/advisor/fit", status: http.StatusMethodNotAllowed},
+		{name: "metrics ok", method: http.MethodGet, path: "/v1/metrics", status: http.StatusOK,
+			check: func(t *testing.T, rec *httptest.ResponseRecorder) {
+				var got struct {
+					Cells []report.Cell `json:"cells"`
+				}
+				decodeBodyJSON(t, rec, &got)
+				if len(got.Cells) == 0 {
+					t.Fatal("metrics returned no cells")
+				}
+				byKey := map[string]float64{}
+				for _, c := range got.Cells {
+					byKey[c.Dims.Variant+"/"+c.Metric] = c.Value
+				}
+				if byKey["healthz/requests"] < 1 {
+					t.Fatalf("healthz requests cell = %v", byKey["healthz/requests"])
+				}
+				if byKey["churn/client-errors"] < 1 {
+					t.Fatalf("churn 4xx traffic not counted: %v", byKey)
+				}
+			}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(srv, tc.method, tc.path, tc.body)
+			if tc.status >= 400 {
+				wantError(t, rec, tc.status)
+			} else if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.status, rec.Body)
+			}
+			if tc.check != nil {
+				tc.check(t, rec)
+			}
+		})
+	}
+}
+
+// TestOversizedBodies pins the 413 path on every body-accepting endpoint.
+func TestOversizedBodies(t *testing.T) {
+	srv := newTestServer(t, Config{MaxBody: 64})
+	big := `{"dataset":"road-ca","strategy":"Grid","padding":"` + strings.Repeat("x", 256) + `"}`
+	for _, path := range []string{"/v1/jobs", "/v1/churn", "/v1/advisor/fit"} {
+		rec := do(srv, http.MethodPost, path, big)
+		wantError(t, rec, http.StatusRequestEntityTooLarge)
+	}
+}
+
+// TestJobLifecycle submits a partition job and polls it to completion.
+func TestJobLifecycle(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	rec := do(srv, http.MethodPost, "/v1/jobs", `{"dataset":"road-ca","strategy":"Random","parts":4}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status = %d (%s)", rec.Code, rec.Body)
+	}
+	var j Job
+	decodeBodyJSON(t, rec, &j)
+	if j.ID == "" || j.Status != JobQueued {
+		t.Fatalf("submitted job = %+v", j)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec = do(srv, http.MethodGet, "/v1/jobs/"+j.ID, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll status = %d (%s)", rec.Code, rec.Body)
+		}
+		decodeBodyJSON(t, rec, &j)
+		if j.Status == JobDone || j.Status == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", j.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if j.Status != JobDone {
+		t.Fatalf("job failed: %s", j.Error)
+	}
+	if j.Edges == 0 || j.Vertices == 0 || j.ReplicationFactor < 1 || j.Seconds <= 0 {
+		t.Fatalf("done job missing quality fields: %+v", j)
+	}
+
+	// The completed job warmed the assignment cache: the lookup endpoint
+	// answers without a second build.
+	before := srv.AssignmentBuilds()
+	rec = do(srv, http.MethodGet, "/v1/assignment/road-ca/Random?parts=4", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("assignment after job = %d", rec.Code)
+	}
+	if got := srv.AssignmentBuilds(); got != before {
+		t.Fatalf("assignment lookup rebuilt a job-warmed key: %d → %d builds", before, got)
+	}
+
+	// And the list endpoint shows it.
+	rec = do(srv, http.MethodGet, "/v1/jobs", "")
+	var list struct {
+		Jobs []Job `json:"jobs"`
+	}
+	decodeBodyJSON(t, rec, &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != j.ID {
+		t.Fatalf("job list = %+v", list.Jobs)
+	}
+}
+
+// TestRequestTimeout pins the 504 path: a request whose handler work
+// outlives the per-request deadline gets a gateway-timeout envelope.
+func TestRequestTimeout(t *testing.T) {
+	srv := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	rec := do(srv, http.MethodGet, "/v1/datasets/uk-web", "")
+	wantError(t, rec, http.StatusGatewayTimeout)
+}

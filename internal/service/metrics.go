@@ -1,0 +1,159 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpart/internal/report"
+)
+
+// endpointStats is one operation's counters. Everything is atomic so the
+// hot request path never takes a lock.
+type endpointStats struct {
+	requests   atomic.Int64
+	clientErrs atomic.Int64 // 4xx responses
+	serverErrs atomic.Int64 // 5xx responses
+	inflight   atomic.Int64
+	latencyNs  atomic.Int64 // summed across requests
+	maxNs      atomic.Int64
+}
+
+func (e *endpointStats) observe(status int, d time.Duration) {
+	e.requests.Add(1)
+	switch {
+	case status >= 500:
+		e.serverErrs.Add(1)
+	case status >= 400:
+		e.clientErrs.Add(1)
+	}
+	ns := d.Nanoseconds()
+	e.latencyNs.Add(ns)
+	for {
+		cur := e.maxNs.Load()
+		if ns <= cur || e.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// metricsRegistry holds per-endpoint counters. Operations are registered
+// up front (at route time), so the exported cell set is fixed and sorted
+// — the map is never mutated under traffic.
+type metricsRegistry struct {
+	mu    sync.Mutex
+	eps   map[string]*endpointStats
+	start time.Time
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{eps: map[string]*endpointStats{}, start: time.Now()}
+}
+
+// register creates the named operation's counters; idempotent.
+func (m *metricsRegistry) register(op string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.eps[op]; ok {
+		return e
+	}
+	e := &endpointStats{}
+	m.eps[op] = e
+	return e
+}
+
+// statusWriter captures the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the op's inflight gauge, request
+// counters and latency accounting, plus the per-request timeout context.
+func (s *Server) instrument(op string, h http.HandlerFunc) http.HandlerFunc {
+	e := s.met.register(op)
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout())
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w}
+		e.inflight.Add(1)
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		e.inflight.Add(-1)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		e.observe(sw.status, elapsed)
+	}
+}
+
+// MetricsCells exports every operation's counters in the report.Cell
+// schema: the operation name in Dims.Variant, one cell per metric, plus
+// server-wide totals. Operations are emitted in sorted order so the
+// output is stable for a given traffic history.
+func (s *Server) MetricsCells() []report.Cell {
+	m := s.met
+	m.mu.Lock()
+	ops := make([]string, 0, len(m.eps))
+	for op := range m.eps {
+		ops = append(ops, op)
+	}
+	m.mu.Unlock()
+	sort.Strings(ops)
+
+	uptime := time.Since(m.start).Seconds()
+	if uptime <= 0 {
+		uptime = 1e-9
+	}
+	var cells []report.Cell
+	cell := func(op, metric string, v float64, unit string) {
+		cells = append(cells, report.Cell{Dims: report.Dims{Variant: op}, Metric: metric, Value: v, Unit: unit})
+	}
+	var totalReq, totalErr int64
+	for _, op := range ops {
+		m.mu.Lock()
+		e := m.eps[op]
+		m.mu.Unlock()
+		req := e.requests.Load()
+		ce, se := e.clientErrs.Load(), e.serverErrs.Load()
+		totalReq += req
+		totalErr += ce + se
+		meanMs := 0.0
+		if req > 0 {
+			meanMs = float64(e.latencyNs.Load()) / float64(req) / 1e6
+		}
+		maxMs := float64(e.maxNs.Load()) / 1e6
+		qps := float64(req) / uptime
+		cell(op, "requests", float64(req), "req")
+		cell(op, "client-errors", float64(ce), "req")
+		cell(op, "server-errors", float64(se), "req")
+		cell(op, "inflight", float64(e.inflight.Load()), "req")
+		cell(op, "latency-mean-ms", meanMs, "ms")
+		cell(op, "latency-max-ms", maxMs, "ms")
+		cell(op, "throughput", qps, "req/s")
+	}
+	totalQPS := float64(totalReq) / uptime
+	cell("", "uptime", uptime, "s")
+	cell("", "requests", float64(totalReq), "req")
+	cell("", "errors", float64(totalErr), "req")
+	cell("", "throughput", totalQPS, "req/s")
+	return cells
+}

@@ -1,0 +1,327 @@
+// Package service is the resident partition-as-a-service layer: an
+// HTTP/JSON server that keeps registered datasets loaded through the
+// two-level .csrg cache, serves assignment lookups and manifest stats,
+// executes partition jobs asynchronously on a bounded queue, applies churn
+// batches to live partition.PartitionState streams, and answers advisor
+// queries from a warm in-memory advisor.Model refittable from uploaded
+// benchrunner reports.
+//
+// Everything the one-shot CLIs do once per process, the service does
+// concurrently and repeatedly: dataset builds and partitionings are
+// deduplicated by singleflight caches (two concurrent requests for the
+// same assignment share one computation), churn streams serialize behind
+// per-state locks, and every endpoint exports latency/throughput/inflight
+// counters through the report.Cell schema at GET /v1/metrics. Shutdown is
+// graceful: inflight partition jobs complete, queued jobs are rejected
+// with ErrShutdown, and new submissions get ErrDraining.
+//
+// The API is documented in docs/SERVICE.md; cmd/partitiond is the daemon
+// binary and the svc.qps experiment load-tests an in-process instance.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpart/internal/advisor"
+	"graphpart/internal/datasets"
+	"graphpart/internal/partition"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default chosen for test-scale datasets.
+type Config struct {
+	// Scale is the dataset scale factor every load/build uses (≤0 = 1).
+	Scale int
+	// Seed is the partitioner hash seed (the same seed the bench uses).
+	Seed uint64
+	// HybridThreshold is the Hybrid/H-Ginger high-degree cutoff (0 keeps
+	// the strategy default).
+	HybridThreshold int
+	// Workers bounds partitioning/ingress goroutines (≤0 = GOMAXPROCS).
+	Workers int
+	// DefaultParts is the partition count used when a request names none
+	// (≤0 = 16).
+	DefaultParts int
+	// JobQueue caps queued-but-not-running partition jobs; submissions
+	// beyond it are rejected with ErrQueueFull → 429 (≤0 = 16).
+	JobQueue int
+	// JobWorkers is the number of job executor goroutines (≤0 = 2).
+	JobWorkers int
+	// RequestTimeout bounds each request's handler work; expired requests
+	// get 504 while the underlying computation keeps warming the cache
+	// (≤0 = 30s).
+	RequestTimeout time.Duration
+	// MaxBody caps request body bytes; larger bodies get 413 (≤0 = 8 MiB).
+	MaxBody int64
+}
+
+func (c Config) scale() int {
+	if c.Scale < 1 {
+		return 1
+	}
+	return c.Scale
+}
+
+func (c Config) defaultParts() int {
+	if c.DefaultParts < 1 {
+		return 16
+	}
+	return c.DefaultParts
+}
+
+func (c Config) jobQueue() int {
+	if c.JobQueue < 1 {
+		return 16
+	}
+	return c.JobQueue
+}
+
+func (c Config) jobWorkers() int {
+	if c.JobWorkers < 1 {
+		return 2
+	}
+	return c.JobWorkers
+}
+
+func (c Config) requestTimeout() time.Duration {
+	if c.RequestTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.RequestTimeout
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBody <= 0 {
+		return 8 << 20
+	}
+	return c.MaxBody
+}
+
+// maxParts bounds requested partition counts; the bit-matrix bookkeeping
+// is O(|V|·parts/8) bytes, so an absurd count is a request error, not an
+// allocation.
+const maxParts = 1024
+
+// Server is one resident service instance. Create it with New, mount
+// Handler on an http.Server (or httptest), and Shutdown when done.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	met *metricsRegistry
+
+	asgMu  sync.Mutex
+	asg    map[asgKey]*asgEntry
+	builds atomic.Int64 // completed assignment builds (singleflight audit)
+
+	stMu   sync.Mutex
+	states map[streamKey]*liveState
+
+	manMu     sync.Mutex
+	manifests map[string]datasets.Manifest
+
+	advMu sync.RWMutex
+	model *advisor.Model
+
+	jobs *jobRunner
+}
+
+// New builds a Server and starts its job workers.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		met:       newMetricsRegistry(),
+		asg:       map[asgKey]*asgEntry{},
+		states:    map[streamKey]*liveState{},
+		manifests: map[string]datasets.Manifest{},
+	}
+	s.jobs = newJobRunner(s, cfg.jobQueue(), cfg.jobWorkers())
+	s.routes()
+	return s
+}
+
+// Handler returns the instrumented HTTP handler for the whole API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the service: running partition jobs complete, queued
+// jobs are rejected with ErrShutdown, and later submissions fail with
+// ErrDraining. It returns ctx.Err() when the drain outlives the context.
+// The HTTP listener is the caller's to close (http.Server.Shutdown);
+// handlers for already-accepted requests keep working during and after
+// the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobs.shutdown(ctx)
+}
+
+// SetModel installs a pre-fitted advisor model (the daemon's -report flag
+// warms one at boot); POST /v1/advisor/fit replaces it.
+func (s *Server) SetModel(m *advisor.Model) {
+	s.advMu.Lock()
+	s.model = m
+	s.advMu.Unlock()
+}
+
+// AssignmentBuilds reports how many partitionings the server has actually
+// computed — the singleflight regression tests pin this against the
+// number of distinct (dataset, strategy, parts) keys requested.
+func (s *Server) AssignmentBuilds() int64 { return s.builds.Load() }
+
+// --- assignment singleflight cache -------------------------------------
+
+type asgKey struct {
+	dataset  string
+	strategy string
+	parts    int
+}
+
+// asgEntry is one in-flight or completed partitioning. The first
+// requester spawns the build goroutine; everyone else (and every later
+// request) waits on done — or gives up at its own deadline while the
+// build keeps running and lands in the cache.
+type asgEntry struct {
+	done chan struct{}
+	a    *partition.Assignment
+	err  error
+}
+
+// assignment returns the cached partitioning for the key, computing it at
+// most once per key across all concurrent requesters. On ctx expiry the
+// caller gets ctx.Err() but the computation is not abandoned.
+func (s *Server) assignment(ctx context.Context, dataset, strategy string, parts int) (*partition.Assignment, error) {
+	key := asgKey{dataset, strategy, parts}
+	s.asgMu.Lock()
+	e, ok := s.asg[key]
+	if !ok {
+		e = &asgEntry{done: make(chan struct{})}
+		s.asg[key] = e
+		go s.buildAssignment(key, e)
+	}
+	s.asgMu.Unlock()
+	select {
+	case <-e.done:
+		return e.a, e.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("service: partitioning %s/%s/%d: %w", dataset, strategy, parts, ctx.Err())
+	}
+}
+
+// buildAssignment computes one cache entry. Failed entries are removed
+// before waiters wake so the next request can retry (the datasets layer
+// makes the same choice for transient external-file failures).
+func (s *Server) buildAssignment(key asgKey, e *asgEntry) {
+	defer close(e.done)
+	g, err := datasets.Load(key.dataset, s.cfg.scale())
+	if err == nil {
+		var st partition.Strategy
+		st, err = partition.New(key.strategy, partition.Options{HybridThreshold: s.cfg.HybridThreshold})
+		if err == nil {
+			e.a, err = partition.ParallelPartition(g, st, key.parts, s.cfg.Seed, s.cfg.Workers)
+		}
+	}
+	if err != nil {
+		e.err = err
+		s.asgMu.Lock()
+		if s.asg[key] == e {
+			delete(s.asg, key)
+		}
+		s.asgMu.Unlock()
+		return
+	}
+	s.builds.Add(1)
+}
+
+// --- live churn streams -------------------------------------------------
+
+type streamKey struct {
+	stream   string
+	strategy string
+	parts    int
+}
+
+// liveState is one mutable partitioning under churn. The PartitionState
+// is single-goroutine by contract; mu serializes the service's
+// concurrently arriving batches in arrival order.
+type liveState struct {
+	mu sync.Mutex
+	st *partition.PartitionState
+}
+
+// state returns (creating on first use) the live state for a stream.
+// Greedy strategies pin Loaders:1, matching the incremental contract the
+// dyn.* experiments established.
+func (s *Server) state(stream, strategy string, parts int) (*liveState, error) {
+	key := streamKey{stream, strategy, parts}
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	if ls, ok := s.states[key]; ok {
+		return ls, nil
+	}
+	st, err := partition.New(strategy, partition.Options{HybridThreshold: s.cfg.HybridThreshold, Loaders: 1})
+	if err != nil {
+		return nil, err
+	}
+	ps, err := partition.NewPartitionState(st, parts, s.cfg.Seed, s.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	ls := &liveState{st: ps}
+	s.states[key] = ls
+	return ls, nil
+}
+
+// lookupState returns the stream's live state without creating one.
+func (s *Server) lookupState(stream, strategy string, parts int) (*liveState, bool) {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	ls, ok := s.states[streamKey{stream, strategy, parts}]
+	return ls, ok
+}
+
+// --- manifests ----------------------------------------------------------
+
+// manifest measures (once per dataset at the server's scale) the manifest
+// the advisor features come from.
+func (s *Server) manifest(name string) (datasets.Manifest, error) {
+	s.manMu.Lock()
+	m, ok := s.manifests[name]
+	s.manMu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := datasets.BuildManifest(name, s.cfg.scale())
+	if err != nil {
+		return datasets.Manifest{}, err
+	}
+	s.manMu.Lock()
+	s.manifests[name] = m
+	s.manMu.Unlock()
+	return m, nil
+}
+
+// withinTimeout runs fn in its own goroutine and waits for the result or
+// the request deadline, whichever is first. Abandoned work finishes in
+// the background and keeps warming the server's caches — the next request
+// for the same thing hits the cache instead of restarting it.
+func withinTimeout[T any](ctx context.Context, fn func() (T, error)) (T, error) {
+	type out struct {
+		v   T
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		v, err := fn()
+		ch <- out{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}

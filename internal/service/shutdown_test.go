@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphpart/internal/datasets"
+	"graphpart/internal/graph"
+)
+
+// registerGatedDataset registers a dataset whose builder blocks until the
+// returned gate is closed, counting builds. Registration is global and
+// permanent, so every test uses a unique name.
+func registerGatedDataset(t *testing.T, name string) (gate chan struct{}, builds *atomic.Int32) {
+	t.Helper()
+	gate = make(chan struct{})
+	builds = &atomic.Int32{}
+	err := datasets.Register(datasets.Info{Name: name, Kind: datasets.SyntheticRoad, Class: graph.LowDegree},
+		func(int) (*graph.Graph, error) {
+			builds.Add(1)
+			<-gate
+			return graph.FromEdges(name, []graph.Edge{
+				{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+			}), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gate, builds
+}
+
+// TestSingleflightAssignment is the regression test for the cache
+// contract: two concurrent requests for the same (dataset, strategy,
+// parts) trigger exactly one dataset build and one partitioning.
+func TestSingleflightAssignment(t *testing.T) {
+	gate, builds := registerGatedDataset(t, "svc-singleflight")
+	srv := newTestServer(t, Config{})
+
+	const url = "/v1/assignment/svc-singleflight/Random?parts=2"
+	var wg sync.WaitGroup
+	bodies := make([]string, 2)
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := do(srv, http.MethodGet, url, "")
+			if rec.Code != http.StatusOK {
+				t.Errorf("request %d: %d (%s)", i, rec.Code, rec.Body)
+				return
+			}
+			bodies[i] = rec.Body.String()
+		}(i)
+	}
+	// Let both requests reach the singleflight entry before the build can
+	// finish; the second must join the first's computation, not start its
+	// own.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("concurrent requests disagree:\n%s\n%s", bodies[0], bodies[1])
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("dataset builder ran %d times, want 1", n)
+	}
+	if n := srv.AssignmentBuilds(); n != 1 {
+		t.Fatalf("server computed %d partitionings, want 1", n)
+	}
+	// A later request for the same key is a pure cache hit.
+	if rec := do(srv, http.MethodGet, url, ""); rec.Code != http.StatusOK || rec.Body.String() != bodies[0] {
+		t.Fatalf("cache hit diverged: %d (%s)", rec.Code, rec.Body)
+	}
+	if n := srv.AssignmentBuilds(); n != 1 {
+		t.Fatalf("cache hit triggered a rebuild: %d builds", n)
+	}
+}
+
+// TestGracefulShutdown drives the full drain contract: the running job
+// completes, queued jobs are rejected with the named ErrShutdown, new
+// submissions get 503 ErrDraining, and the drain finishes within its
+// deadline.
+func TestGracefulShutdown(t *testing.T) {
+	gate, _ := registerGatedDataset(t, "svc-drain")
+	srv := New(Config{JobWorkers: 1, JobQueue: 2})
+
+	submit := func(parts int) (*Job, int, string) {
+		body := fmt.Sprintf(`{"dataset":"svc-drain","strategy":"Random","parts":%d}`, parts)
+		rec := do(srv, http.MethodPost, "/v1/jobs", body)
+		if rec.Code != http.StatusAccepted {
+			return nil, rec.Code, rec.Body.String()
+		}
+		var j Job
+		if err := json.Unmarshal(rec.Body.Bytes(), &j); err != nil {
+			t.Fatal(err)
+		}
+		return &j, rec.Code, ""
+	}
+	status := func(id string) Job {
+		rec := do(srv, http.MethodGet, "/v1/jobs/"+id, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll %s: %d", id, rec.Code)
+		}
+		var j Job
+		decodeBodyJSON(t, rec, &j)
+		return j
+	}
+
+	running, _, _ := submit(2)
+	if running == nil {
+		t.Fatal("first submission rejected")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for status(running.ID).Status != JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Fill the bounded queue, then overflow it.
+	q1, _, _ := submit(3)
+	q2, _, _ := submit(4)
+	if q1 == nil || q2 == nil {
+		t.Fatal("queue submissions rejected early")
+	}
+	if _, code, body := submit(5); code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: %d (%s), want 429", code, body)
+	}
+
+	// Start the drain while the first job is still blocked inside its
+	// dataset build.
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainErr <- srv.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	if _, code, body := submit(6); code != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: %d (%s), want 503", code, body)
+	}
+
+	close(gate) // let the inflight job finish
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if j := status(running.ID); j.Status != JobDone {
+		t.Fatalf("inflight job = %s (%s), want done", j.Status, j.Error)
+	}
+	for _, q := range []*Job{q1, q2} {
+		j := status(q.ID)
+		if j.Status != JobRejected {
+			t.Fatalf("queued job %s = %s, want rejected", q.ID, j.Status)
+		}
+		if j.Error != ErrShutdown.Error() {
+			t.Fatalf("rejected job error = %q, want %q", j.Error, ErrShutdown)
+		}
+	}
+	if _, code, _ := submit(7); code != http.StatusServiceUnavailable {
+		t.Fatalf("submission after drain: %d, want 503", code)
+	}
+}
+
+// TestShutdownDeadline pins the timeout path: a drain whose inflight job
+// never finishes returns the context error instead of hanging.
+func TestShutdownDeadline(t *testing.T) {
+	gate, _ := registerGatedDataset(t, "svc-drain-deadline")
+	srv := New(Config{JobWorkers: 1})
+	defer close(gate) // unblock the worker goroutine at test end
+
+	j, code, body := submit1(t, srv, "svc-drain-deadline")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%s)", code, body)
+	}
+	// The drain only waits on jobs a worker has already picked up; a
+	// still-queued job would be rejected instantly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec := do(srv, http.MethodGet, "/v1/jobs/"+j.ID, "")
+		var cur Job
+		decodeBodyJSON(t, rec, &cur)
+		if cur.Status == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Fatal("drain of a stuck job returned nil before its deadline")
+	}
+}
+
+func submit1(t *testing.T, srv *Server, dataset string) (*Job, int, string) {
+	t.Helper()
+	rec := do(srv, http.MethodPost, "/v1/jobs", fmt.Sprintf(`{"dataset":%q,"strategy":"Random","parts":2}`, dataset))
+	if rec.Code != http.StatusAccepted {
+		return nil, rec.Code, rec.Body.String()
+	}
+	var j Job
+	decodeBodyJSON(t, rec, &j)
+	return &j, rec.Code, ""
+}
