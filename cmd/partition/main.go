@@ -53,6 +53,7 @@ func main() {
 		machines  = flag.Int("machines", 0, "cluster machines for the ingress model (default: parts)")
 		seed      = flag.Uint64("seed", 1, "hash seed")
 		threshold = flag.Int("hybrid-threshold", 30, "Hybrid/H-Ginger high-degree cutoff")
+		memBudget = flag.Float64("mem-budget", 0, "HEP in-memory edge budget as a fraction of |E| (0 = strategy default)")
 		workers   = flag.Int("workers", 0, "parallel ingress workers for the materialized path (0 = GOMAXPROCS; -stream is single-pass sequential)")
 		stream    = flag.Bool("stream", false, "stream -input in batches without materializing the edge list (stateless strategies only)")
 		batch     = flag.Int("batch", 0, "edges per stream batch (0 = default)")
@@ -72,7 +73,7 @@ func main() {
 		return
 	}
 
-	s, err := partition.New(*strategy, partition.Options{HybridThreshold: *threshold})
+	s, err := partition.New(*strategy, partition.Options{HybridThreshold: *threshold, MemBudget: *memBudget})
 	if err != nil {
 		log.Fatal(err)
 	}

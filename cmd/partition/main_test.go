@@ -1,12 +1,54 @@
 package main
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"graphpart/internal/gen"
 	"graphpart/internal/partition"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestListStrategiesGolden pins the -strategies listing byte-for-byte: all
+// 16 registered strategies must appear with the capability class derived
+// from their declared ingress capability. A new strategy, a renamed one, or
+// a capability change all surface here as a golden diff (refresh with
+// `go test ./cmd/partition -run ListStrategies -update`).
+func TestListStrategiesGolden(t *testing.T) {
+	var sb strings.Builder
+	listStrategies(&sb, 9, 30) // the CLI's default -parts and -hybrid-threshold
+	got := sb.String()
+
+	for _, name := range partition.AllNames() {
+		if !strings.Contains(got, name+"  ") {
+			t.Errorf("listing missing strategy %q", name)
+		}
+	}
+	if n := strings.Count(got, "\n"); n != len(partition.AllNames())+1 {
+		t.Errorf("listing has %d lines, want header + %d strategies", n, len(partition.AllNames()))
+	}
+
+	golden := filepath.Join("testdata", "strategies.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("-strategies output drifted from golden (run with -update to refresh):\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
 
 func TestRunChurnRendersWindowsAndSummary(t *testing.T) {
 	g := gen.PrefAttach("pa", 1500, 4, 3)

@@ -121,7 +121,7 @@ func TestRecommendationsAreConstructible(t *testing.T) {
 	for _, man := range mans {
 		for _, sys := range []partition.System{
 			partition.PowerGraph, partition.PowerLyra, partition.GraphX,
-			partition.PowerLyraAll, partition.GraphXAll,
+			partition.PowerLyraAll, partition.GraphXAll, partition.AllFamilies,
 		} {
 			w, err := WorkloadFor(man, 25, 1, "WCC")
 			if err != nil {

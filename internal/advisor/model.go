@@ -241,7 +241,10 @@ func engineLabel(sys partition.System) (string, error) {
 	switch sys {
 	case partition.PowerGraph:
 		return "PowerGraph", nil
-	case partition.PowerLyra, partition.PowerLyraAll:
+	case partition.PowerLyra, partition.PowerLyraAll, partition.AllFamilies:
+		// All-Families ranks over the PowerLyra measurements: the engine
+		// with the broadest strategy coverage, including the added
+		// families' fig8.x rows.
 		return "PowerLyra", nil
 	case partition.GraphX, partition.GraphXAll:
 		return "GraphX", nil

@@ -55,6 +55,21 @@ func fig81() Experiment {
 					}
 				}
 			}
+			// The added families ride along as extra rows; the paper's
+			// verdicts stay restricted to its own strategies.
+			for _, ds := range pgDatasets {
+				for _, cc := range lyraAllClusters {
+					for _, strat := range familyStrategies {
+						a, err := assignment(cfg, ds, strat, cc.NumParts())
+						if err != nil {
+							return nil, err
+						}
+						r.Row(sweepDims(enginePowerLyra, ds, strat, cc)).
+							Col(ds, clusterName(cc), strat).
+							Metric("replication-factor", a.ReplicationFactor(), "ratio", 3)
+					}
+				}
+			}
 			asym := true
 			for _, ds := range pgDatasets {
 				for _, cc := range lyraAllClusters {
@@ -108,6 +123,25 @@ func fig82() Experiment {
 							Col(ds, clusterName(cc), strat).
 							Metric("ingress-seconds", st.Seconds, "s", 3)
 						times[ds+"/"+clusterName(cc)+"/"+strat] = st.Seconds
+					}
+				}
+			}
+			// The added families ride along as extra rows; the paper's
+			// verdicts stay restricted to its own strategies.
+			for _, ds := range pgDatasets {
+				for _, cc := range lyraAllClusters {
+					for _, strat := range familyStrategies {
+						a, err := assignment(cfg, ds, strat, cc.NumParts())
+						if err != nil {
+							return nil, err
+						}
+						s, err := strategyFor(cfg, strat)
+						if err != nil {
+							return nil, err
+						}
+						r.Row(sweepDims(enginePowerLyra, ds, strat, cc)).
+							Col(ds, clusterName(cc), strat).
+							Metric("ingress-seconds", cluster.Ingress(a, s, cc, model).Seconds, "s", 3)
 					}
 				}
 			}

@@ -240,6 +240,21 @@ func fig56() Experiment {
 					}
 				}
 			}
+			// The added families ride along as extra rows; the paper's
+			// best-strategy notes stay restricted to its own strategies.
+			for _, ds := range pgDatasets {
+				for _, cc := range pgClusters {
+					for _, strat := range familyStrategies {
+						a, err := assignment(cfg, ds, strat, cc.NumParts())
+						if err != nil {
+							return nil, err
+						}
+						r.Row(sweepDims(enginePowerGraph, ds, strat, cc)).
+							Col(ds, clusterName(cc), strat).
+							Metric("replication-factor", a.ReplicationFactor(), "ratio", 3)
+					}
+				}
+			}
 			for _, ds := range pgDatasets {
 				b := bests[ds+"/"+clusterName(cluster.EC2x25)]
 				r.Notef("%s (EC2-25): best strategy %s (RF %.2f)", ds, b.strat, b.rf)
@@ -275,6 +290,25 @@ func fig57() Experiment {
 							Col(ds, clusterName(cc), strat).
 							Metric("ingress-seconds", st.Seconds, "s", 3)
 						ing[ds+"/"+clusterName(cc)+"/"+strat] = st.Seconds
+					}
+				}
+			}
+			// The added families ride along as extra rows; the paper's
+			// verdicts stay restricted to its own strategies.
+			for _, ds := range pgDatasets {
+				for _, cc := range pgClusters {
+					for _, strat := range familyStrategies {
+						a, err := assignment(cfg, ds, strat, cc.NumParts())
+						if err != nil {
+							return nil, err
+						}
+						s, err := strategyFor(cfg, strat)
+						if err != nil {
+							return nil, err
+						}
+						r.Row(sweepDims(enginePowerGraph, ds, strat, cc)).
+							Col(ds, clusterName(cc), strat).
+							Metric("ingress-seconds", cluster.Ingress(a, s, cc, model).Seconds, "s", 3)
 					}
 				}
 			}

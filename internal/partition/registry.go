@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,13 +12,16 @@ import (
 type System string
 
 // The three systems of Table 1.1, plus the thesis's "all strategies in one
-// system" configurations of chapters 8 and 9.
+// system" configurations of chapters 8 and 9, plus the repo's own
+// every-registered-family configuration (the paper's 13 and the post-paper
+// families: HEP, JaBeJaSwap, Multilevel).
 const (
 	PowerGraph   System = "PowerGraph"
 	PowerLyra    System = "PowerLyra"
 	GraphX       System = "GraphX"
 	PowerLyraAll System = "PowerLyra-All"
 	GraphXAll    System = "GraphX-All"
+	AllFamilies  System = "All-Families"
 )
 
 // Options carries per-strategy tunables that experiments may scale.
@@ -28,6 +32,9 @@ type Options struct {
 	// Loaders overrides the number of independent ingress loaders used by
 	// the greedy strategies (0 means one per partition).
 	Loaders int
+	// MemBudget overrides HEP's in-memory edge budget as a fraction of the
+	// edge count (0 keeps DefaultMemBudget).
+	MemBudget float64
 }
 
 // Factory constructs a strategy from options. Factories are registered by
@@ -39,15 +46,33 @@ var (
 	factories = map[string]Factory{}
 )
 
+// ErrNoIngressCapability is the error wrapped by Register's panic when a
+// factory produces a strategy implementing none of the ingress capabilities
+// (StatelessStrategy, StreamingStrategy, MultiPassStrategy). Such a strategy
+// would register cleanly and then fail only deep inside ShapeOf-driven
+// schedulers; the registry rejects it up front, at init time.
+var ErrNoIngressCapability = errors.New("partition: strategy declares no ingress capability")
+
 // Register adds a strategy factory under its paper name. It panics on an
-// empty name, nil factory, or duplicate registration — all programmer
-// errors at init time.
+// empty name, nil factory, duplicate registration, or a factory whose
+// strategy declares no ingress capability — all programmer errors at init
+// time. The capability panic wraps ErrNoIngressCapability.
 func Register(name string, f Factory) {
 	if name == "" {
 		panic("partition: Register with empty strategy name")
 	}
 	if f == nil {
 		panic(fmt.Sprintf("partition: Register(%q) with nil factory", name))
+	}
+	probe := f(Options{})
+	if probe == nil {
+		panic(fmt.Errorf("%w: Register(%q) factory returned nil", ErrNoIngressCapability, name))
+	}
+	switch probe.(type) {
+	case StatelessStrategy, StreamingStrategy, MultiPassStrategy:
+	default:
+		panic(fmt.Errorf("%w: Register(%q) strategy %T implements none of StatelessStrategy/StreamingStrategy/MultiPassStrategy",
+			ErrNoIngressCapability, name, probe))
 	}
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -118,6 +143,16 @@ func SystemStrategies(sys System) ([]string, error) {
 		return []string{
 			"ResilientGrid", "Oblivious", "HDRF", "AsymRandom", "Hybrid",
 			"2D", "1D", "H-Ginger", "CanonicalRandom",
+		}, nil
+	case AllFamilies:
+		// Every registered family: the paper's 13 plus the post-paper
+		// additions (HEP, JaBeJaSwap, Multilevel). The list is pinned here
+		// rather than derived from AllNames so the advisor's choice set for
+		// this system cannot drift silently when a strategy registers.
+		return []string{
+			"Random", "CanonicalRandom", "AsymRandom", "Oblivious", "HDRF",
+			"Grid", "ResilientGrid", "PDS", "Hybrid", "H-Ginger",
+			"1D", "1D-Target", "2D", "HEP", "JaBeJaSwap", "Multilevel",
 		}, nil
 	}
 	return nil, fmt.Errorf("partition: unknown system %q", sys)

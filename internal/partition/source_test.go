@@ -22,17 +22,17 @@ func sourceParts(name string) int {
 // for the binary graph format: for every registered dataset, partitioning
 // the graph loaded from its .csrg form must yield byte-identical edge
 // placements and masters to the graph loaded from a text edge list, for all
-// 13 strategies. The formats must therefore preserve edge order exactly —
-// streaming strategies assign by edge index, so order is part of graph
-// identity.
+// 16 strategies (the paper's 13 plus HEP, JaBeJaSwap and Multilevel). The
+// formats must therefore preserve edge order exactly — streaming strategies
+// assign by edge index, so order is part of graph identity.
 func TestBinaryAndTextSourcesYieldIdenticalAssignments(t *testing.T) {
 	names := datasets.Names()
 	if testing.Short() {
 		names = []string{"road-ca", "livejournal"} // one per ingress regime
 	}
 	strategies := partition.AllNames()
-	if len(strategies) != 13 {
-		t.Fatalf("registry has %d strategies, want the paper's 13", len(strategies))
+	if len(strategies) != 16 {
+		t.Fatalf("registry has %d strategies, want the paper's 13 plus the 3 added families", len(strategies))
 	}
 	dir := t.TempDir()
 	for _, ds := range names {

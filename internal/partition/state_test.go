@@ -127,7 +127,11 @@ func TestStatelessChurnEquivalence(t *testing.T) {
 
 // TestMultiPassChurnEquivalence: multi-pass strategies absorb churn by
 // repartitioning the live set per batch, so after any trace they too must
-// match the one-shot partitioning of the survivors.
+// match the one-shot partitioning of the state's live edge list. The live
+// list — not the trace's survivor list — is the reference: deletions swap
+// edges from the tail, and order-dependent strategies (HEP's streamed
+// spill, JaBeJaSwap's indexed swap partners, Multilevel's load-aware cut
+// split) legitimately place a permuted edge list differently.
 func TestMultiPassChurnEquivalence(t *testing.T) {
 	g := testGraph()
 	for _, s := range allStrategies() {
@@ -142,7 +146,10 @@ func TestMultiPassChurnEquivalence(t *testing.T) {
 			t.Fatalf("%s: multi-pass strategy claims incremental support", s.Name())
 		}
 		survivors := applyTrace(t, st, g, gen.ChurnConfig{Windows: 4, DelFrac: 0.2, Seed: 3})
-		lg := graph.FromEdges("survivors", survivors)
+		if int64(len(survivors)) != st.NumEdges() {
+			t.Fatalf("%s: %d live edges, trace left %d", s.Name(), st.NumEdges(), len(survivors))
+		}
+		lg := graph.FromEdges("survivors", st.LiveEdges())
 		a, err := ParallelPartition(lg, s, 9, 1, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
@@ -287,6 +294,85 @@ func TestHotReplicationPinsAndReleases(t *testing.T) {
 	}
 	if total != st.NumEdges() {
 		t.Fatalf("edge counts sum to %d, want %d", total, st.NumEdges())
+	}
+}
+
+// TestRebalanceNewFamilies: the migration pass never touches the assigner,
+// so it must also hold for the added multi-pass families — including
+// JaBeJaSwap, whose swap refinement preserves per-partition loads and so
+// inherits whatever imbalance its base left. After Rebalance the balance
+// must sit at or under MaxBalance and the bookkeeping must stay coherent.
+func TestRebalanceNewFamilies(t *testing.T) {
+	g := gen.PowerLaw("pl", gen.PowerLawConfig{N: 3000, Alpha: 1.7, MinD: 2, MaxD: 600, Seed: 5})
+	for _, name := range []string{"HEP", "JaBeJaSwap", "Multilevel"} {
+		t.Run(name, func(t *testing.T) {
+			st, err := NewPartitionState(MustNew(name, Options{}), 8, 1, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyTrace(t, st, g, gen.ChurnConfig{Windows: 2, DelFrac: 0.05, Seed: 3})
+			cfg := RebalanceConfig{MaxBalance: 1.05}
+			before := st.EdgeBalance()
+			stats := st.Rebalance(cfg)
+			if st.NeedsRebalance(cfg) {
+				t.Fatalf("balance %v after rebalance (before %v, moved %d), want ≤ %v",
+					st.EdgeBalance(), before, stats.Moved, cfg.MaxBalance)
+			}
+			if before > cfg.MaxBalance && stats.Moved == 0 {
+				t.Fatalf("balance %v over threshold yet rebalance moved nothing", before)
+			}
+			var total int64
+			for p := 0; p < st.NumParts(); p++ {
+				total += st.EdgeCount()[p]
+			}
+			if total != st.NumEdges() {
+				t.Fatalf("edge counts sum to %d after rebalance, want %d", total, st.NumEdges())
+			}
+			if rf := st.ReplicationFactor(); rf < 1 || rf > stats.RFBefore+0.5 {
+				t.Fatalf("RF %v after rebalance (before %v): migration should prefer resident endpoints",
+					rf, stats.RFBefore)
+			}
+		})
+	}
+}
+
+// TestHotReplicationNewFamilies: hot-vertex pinning is state-level too; it
+// must pin and release cleanly on top of the added families' placements,
+// and survive a Rebalance in between.
+func TestHotReplicationNewFamilies(t *testing.T) {
+	g := testGraph()
+	for _, name := range []string{"HEP", "JaBeJaSwap", "Multilevel"} {
+		t.Run(name, func(t *testing.T) {
+			st, err := NewPartitionState(MustNew(name, Options{}), 8, 1, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.SetHotReplication(16)
+			applyTrace(t, st, g, gen.ChurnConfig{Windows: 3, DelFrac: 0.1, Seed: 4})
+			hot := 0
+			for v := 0; v < st.NumVertices(); v++ {
+				if st.Replicas(graph.VertexID(v)) == 8 {
+					hot++
+				}
+			}
+			if hot < 16 {
+				t.Fatalf("%d vertices fully replicated, want ≥16 hot pins", hot)
+			}
+			st.Rebalance(RebalanceConfig{MaxBalance: 1.1})
+			st.SetHotReplication(0)
+			for v := 0; v < st.NumVertices(); v++ {
+				if st.Degree(graph.VertexID(v)) == 0 && st.Replicas(graph.VertexID(v)) != 0 {
+					t.Fatalf("vertex %d has images with no live edges after unpin", v)
+				}
+			}
+			var total int64
+			for p := 0; p < st.NumParts(); p++ {
+				total += st.EdgeCount()[p]
+			}
+			if total != st.NumEdges() {
+				t.Fatalf("edge counts sum to %d, want %d", total, st.NumEdges())
+			}
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"errors"
 	"testing"
 
 	"graphpart/internal/gen"
@@ -149,6 +150,9 @@ func TestShapeOf(t *testing.T) {
 		{"HDRF", 1, 1, true, 16, false},
 		{"Hybrid", 2, 0, false, 0, true},
 		{"H-Ginger", 3, 3, false, 0, true},
+		{"HEP", 2, 1, false, 0, true},
+		{"JaBeJaSwap", 5, 0, false, 0, true}, // Random's 1 pass + 4 swap rounds
+		{"Multilevel", 3, 1, false, 0, true},
 	}
 	for _, tc := range cases {
 		shape := ShapeOf(MustNew(tc.name, Options{}), 16)
@@ -171,4 +175,47 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 		}
 	}()
 	Register("Random", func(Options) Strategy { return Random{} })
+}
+
+// noCapStrategy implements only the base Strategy interface — none of the
+// ingress capabilities — so registering it must be rejected.
+type noCapStrategy struct{}
+
+func (noCapStrategy) Name() string { return "NoCap" }
+func (noCapStrategy) Passes() int  { return 1 }
+func (noCapStrategy) Partition(g *graph.Graph, numParts int, seed uint64) (*Result, error) {
+	return &Result{EdgeParts: make([]int32, g.NumEdges())}, nil
+}
+
+// TestRegisterRejectsCapabilityless: a strategy with no ingress capability
+// would dodge ShapeOf dispatch and every stream builder; Register panics at
+// init time instead, wrapping the named ErrNoIngressCapability.
+func TestRegisterRejectsCapabilityless(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("capability-less Register did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrNoIngressCapability) {
+			t.Fatalf("panic %v (%T) does not wrap ErrNoIngressCapability", r, r)
+		}
+	}()
+	Register("NoCap", func(Options) Strategy { return noCapStrategy{} })
+}
+
+// TestRegisterRejectsNilProbe: a factory that builds no strategy at all is
+// the degenerate capability-less case and trips the same guard.
+func TestRegisterRejectsNilProbe(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("nil-producing Register did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrNoIngressCapability) {
+			t.Fatalf("panic %v (%T) does not wrap ErrNoIngressCapability", r, r)
+		}
+	}()
+	Register("NilProbe", func(Options) Strategy { return nil })
 }
